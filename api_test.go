@@ -1,0 +1,93 @@
+package latsim_test
+
+import (
+	"testing"
+
+	"latsim"
+)
+
+// pingpong is a minimal custom application written purely against the
+// public API: two processes exchange a line through a lock.
+type pingpong struct {
+	data latsim.Addr
+	lk   *latsim.Lock
+	done *latsim.Barrier
+}
+
+func (p *pingpong) Name() string { return "pingpong" }
+
+func (p *pingpong) Setup(m *latsim.Machine) error {
+	p.data = m.AllocOnNode(latsim.LineSize, 0)
+	p.lk = m.NewLock()
+	p.done = m.NewBarrier(m.Config().TotalProcesses())
+	return nil
+}
+
+func (p *pingpong) Worker(e *latsim.Env, pid, nprocs int) {
+	for i := 0; i < 10; i++ {
+		e.Lock(p.lk)
+		e.Read(p.data)
+		e.Compute(10)
+		e.Write(p.data)
+		e.Unlock(p.lk)
+	}
+	e.Barrier(p.done)
+}
+
+func TestPublicAPICustomApp(t *testing.T) {
+	cfg := latsim.DefaultConfig()
+	cfg.Procs = 2
+	for _, model := range []latsim.Consistency{latsim.SC, latsim.PC, latsim.WC, latsim.RC} {
+		cfg.Model = model
+		res, err := latsim.Run(cfg, &pingpong{})
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if res.Elapsed == 0 || res.SharedReads() != 20 || res.SharedWrites() != 20 {
+			t.Errorf("%v: unexpected result: elapsed=%d reads=%d writes=%d",
+				model, res.Elapsed, res.SharedReads(), res.SharedWrites())
+		}
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	cfg := latsim.DefaultConfig()
+	cfg.Procs = 4
+	lu := latsim.LUDefaults()
+	lu.N = 32
+	res, err := latsim.Run(cfg, latsim.NewLU(lu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AppName != "LU" || res.Elapsed == 0 {
+		t.Errorf("unexpected result %+v", res.AppName)
+	}
+
+	mp := latsim.MP3DDefaults()
+	mp.Particles = 400
+	mp.Steps = 1
+	if _, err := latsim.Run(cfg, latsim.NewMP3D(mp)); err != nil {
+		t.Fatal(err)
+	}
+
+	pt := latsim.PTHORDefaults()
+	pt.Circuit.Gates = 500
+	pt.Circuit.Depth = 5
+	pt.Cycles = 1
+	if _, err := latsim.Run(cfg, latsim.NewPTHOR(pt)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIBucketsAndConstants(t *testing.T) {
+	if latsim.LineSize != 16 {
+		t.Errorf("LineSize = %d, want 16", latsim.LineSize)
+	}
+	seen := map[string]bool{}
+	for b := latsim.Bucket(0); b < latsim.NumBuckets; b++ {
+		if seen[b.String()] {
+			t.Errorf("duplicate bucket name %s", b)
+		}
+		seen[b.String()] = true
+	}
+}

@@ -1,0 +1,172 @@
+// Command figures regenerates every table and figure from the paper's
+// evaluation section, plus the extra ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	figures [-scale small|paper] [-exp all|table1|table2|fig2|fig3|fig4|fig5|fig6|hitrates|summary|fullcache|ablations]
+//
+// -scale paper uses the paper's exact data sets (slower); the default
+// small scale keeps the workload structure at reduced size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latsim/internal/core"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
+	expFlag := flag.String("exp", "all", "experiment id (all, table1, table2, fig2..fig6, hitrates, summary, coverage, fullcache, spectrum, scaling, analytic, ablations)")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	bars := flag.Bool("bars", false, "render figures as stacked bar charts")
+	asJSON := flag.Bool("json", false, "emit figures as JSON (for plotting tools)")
+	flag.Parse()
+
+	scale, err := core.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	s := core.NewSession(scale)
+	if *verbose {
+		s.Trace = os.Stderr
+	}
+
+	render := func(f *core.Figure) {
+		if *asJSON {
+			b, err := f.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(b)
+			fmt.Println()
+			return
+		}
+		if *bars {
+			f.RenderBars(os.Stdout, 60)
+			return
+		}
+		f.Render(os.Stdout)
+	}
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			rows, err := core.Table1()
+			if err != nil {
+				return err
+			}
+			core.RenderTable1(os.Stdout, rows)
+		case "table2":
+			rows, err := s.Table2()
+			if err != nil {
+				return err
+			}
+			core.RenderTable2(os.Stdout, rows)
+		case "fig2":
+			f, err := s.Figure2()
+			if err != nil {
+				return err
+			}
+			render(f)
+		case "fig3":
+			f, err := s.Figure3()
+			if err != nil {
+				return err
+			}
+			render(f)
+		case "fig4":
+			f, err := s.Figure4()
+			if err != nil {
+				return err
+			}
+			render(f)
+		case "fig5":
+			f, err := s.Figure5()
+			if err != nil {
+				return err
+			}
+			render(f)
+		case "fig6":
+			f, err := s.Figure6()
+			if err != nil {
+				return err
+			}
+			render(f)
+		case "hitrates":
+			rows, err := s.HitRates()
+			if err != nil {
+				return err
+			}
+			core.RenderHitRates(os.Stdout, rows)
+		case "summary":
+			rows, err := s.Summary()
+			if err != nil {
+				return err
+			}
+			core.RenderSummary(os.Stdout, rows)
+		case "fullcache":
+			a, err := s.FullCacheAblation()
+			if err != nil {
+				return err
+			}
+			a.Render(os.Stdout)
+		case "ablations":
+			for _, fn := range []func() (*core.Ablation, error){
+				s.WriteBufferAblation, s.SwitchPenaltyAblation,
+				s.NetworkAblation, s.PipeliningAblation,
+				s.AssociativityAblation, s.ExclusiveGrantAblation, s.MeshAblation,
+			} {
+				a, err := fn()
+				if err != nil {
+					return err
+				}
+				a.Render(os.Stdout)
+				fmt.Println()
+			}
+		case "spectrum":
+			f, err := s.ConsistencySpectrum()
+			if err != nil {
+				return err
+			}
+			render(f)
+		case "scaling":
+			pts, err := s.ScalingSweep()
+			if err != nil {
+				return err
+			}
+			core.RenderScaling(os.Stdout, pts)
+		case "coverage":
+			rows, err := s.PrefetchCoverage()
+			if err != nil {
+				return err
+			}
+			core.RenderCoverage(os.Stdout, rows)
+		case "analytic":
+			pts, err := s.AnalyticContexts()
+			if err != nil {
+				return err
+			}
+			core.RenderAnalytic(os.Stdout, pts)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	ids := []string{*expFlag}
+	if *expFlag == "all" {
+		ids = []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command latsim runs one benchmark on one machine configuration and
+// prints the execution-time breakdown and statistics.
+//
+// Usage:
+//
+//	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
+//	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latsim/internal/config"
+	"latsim/internal/core"
+	"latsim/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "MP3D", "benchmark: MP3D, LU or PTHOR")
+	model := flag.String("model", "SC", "memory consistency model: SC, PC, WC or RC")
+	nocache := flag.Bool("nocache", false, "do not cache shared data (Figure 2 baseline)")
+	prefetch := flag.Bool("prefetch", false, "run the software-prefetching variant")
+	contexts := flag.Int("contexts", 1, "hardware contexts per processor (1, 2, 4)")
+	switchPen := flag.Int("switch", 4, "context-switch penalty in cycles")
+	procs := flag.Int("procs", 16, "number of processors")
+	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
+	fullcache := flag.Bool("fullcache", false, "use full 64KB/256KB caches instead of scaled 2KB/4KB")
+	meshNet := flag.Bool("mesh", false, "use the 2-D wormhole mesh interconnect instead of the direct network")
+	flag.Parse()
+
+	scale, err := core.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := config.Default()
+	cfg.Procs = *procs
+	cfg.CacheShared = !*nocache
+	cfg.Prefetch = *prefetch
+	cfg.Contexts = *contexts
+	cfg.SwitchPenalty = *switchPen
+	switch *model {
+	case "SC":
+	case "PC":
+		cfg.Model = config.PC
+	case "WC":
+		cfg.Model = config.WC
+	case "RC":
+		cfg.Model = config.RC
+	default:
+		fmt.Fprintf(os.Stderr, "latsim: unknown model %q (want SC, PC, WC or RC)\n", *model)
+		os.Exit(2)
+	}
+	if *fullcache {
+		cfg = cfg.FullCaches()
+	}
+	cfg.MeshNetwork = *meshNet
+
+	s := core.NewSession(scale)
+	res, err := s.Run(*app, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s (%s scale, %d procs)\n", res.AppName, cfg.Name(), scale, cfg.Procs)
+	fmt.Printf("  elapsed:            %d cycles (%.2f ms at 33 MHz)\n",
+		res.Elapsed, float64(res.Elapsed)*30e-6)
+	fmt.Printf("  processor util:     %.1f%%\n", 100*res.ProcessorUtilization())
+	total := res.Breakdown.Total()
+	fmt.Println("  breakdown (avg processor):")
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		if v := res.Breakdown.Time[b]; v > 0 {
+			fmt.Printf("    %-12s %12d  (%5.1f%%)\n", b, v, 100*float64(v)/float64(total))
+		}
+	}
+	fmt.Printf("  shared refs:        %d reads (%.0f%% hit), %d writes (%.0f%% hit)\n",
+		res.SharedReads(), 100*res.ReadHitRate(), res.SharedWrites(), 100*res.WriteHitRate())
+	fmt.Printf("  sync:               %d lock acquires, %d barrier arrivals\n", res.Locks(), res.Barriers())
+	if res.Prefetches() > 0 {
+		fmt.Printf("  prefetches:         %d issued\n", res.Prefetches())
+	}
+	fmt.Printf("  shared data:        %d KB\n", res.SharedBytes/1024)
+	fmt.Printf("  median run length:  %d cycles\n", res.MedianRunLength())
+	fmt.Printf("  sim events:         %d\n", res.Events)
+}

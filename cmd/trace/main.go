@@ -1,0 +1,152 @@
+// Command trace records and replays shared-reference traces (the
+// trace-driven half of the Tango methodology).
+//
+// Record a benchmark's reference stream:
+//
+//	trace -record -app LU -scale small -o lu.trace
+//
+// Replay it under a different machine configuration:
+//
+//	trace -replay lu.trace -model RC -contexts 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latsim/internal/apps/lu"
+	"latsim/internal/apps/mp3d"
+	"latsim/internal/apps/pthor"
+	"latsim/internal/config"
+	"latsim/internal/core"
+	"latsim/internal/machine"
+	"latsim/internal/stats"
+	"latsim/internal/trace"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a trace")
+	replayPath := flag.String("replay", "", "trace file to replay")
+	app := flag.String("app", "LU", "benchmark to record: MP3D, LU or PTHOR")
+	scaleFlag := flag.String("scale", "small", "data-set scale for -record")
+	out := flag.String("o", "", "output file for -record")
+	model := flag.String("model", "SC", "consistency model: SC, PC, WC or RC")
+	contexts := flag.Int("contexts", 1, "hardware contexts per processor")
+	procs := flag.Int("procs", 16, "processors")
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.Procs = *procs
+	cfg.Contexts = *contexts
+	switch *model {
+	case "SC":
+	case "PC":
+		cfg.Model = config.PC
+	case "WC":
+		cfg.Model = config.WC
+	case "RC":
+		cfg.Model = config.RC
+	default:
+		fatalf("unknown model %q", *model)
+	}
+
+	switch {
+	case *record:
+		if *out == "" {
+			fatalf("-record requires -o <file>")
+		}
+		doRecord(cfg, *app, *scaleFlag, *out)
+	case *replayPath != "":
+		doReplay(cfg, *replayPath)
+	default:
+		fatalf("need -record or -replay <file>")
+	}
+}
+
+func doRecord(cfg config.Config, appName, scaleFlag, out string) {
+	scale, err := core.ParseScale(scaleFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var app machine.App
+	switch appName {
+	case "MP3D":
+		p := mp3d.Default()
+		if scale == core.ScaleSmall {
+			p = mp3d.Scaled(2000, 2)
+		}
+		app = mp3d.New(p)
+	case "LU":
+		p := lu.Default()
+		if scale == core.ScaleSmall {
+			p = lu.Scaled(96)
+		}
+		app = lu.New(p)
+	case "PTHOR":
+		p := pthor.Default()
+		if scale == core.ScaleSmall {
+			p.Circuit.Gates = 3000
+			p.Circuit.Depth = 12
+			p.Cycles = 2
+		}
+		app = pthor.New(p)
+	default:
+		fatalf("unknown app %q", appName)
+	}
+	rec := trace.NewRecorder(app)
+	m, err := machine.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := m.Run(rec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr := rec.Trace()
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	if err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	fmt.Printf("recorded %s: %d processes, %d events, %d bytes -> %s\n",
+		tr.AppName, tr.Procs, tr.Events(), n, out)
+	fmt.Printf("execution-driven run: %d cycles\n", res.Elapsed)
+}
+
+func doReplay(cfg config.Config, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		fatalf("reading trace: %v", err)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := m.Run(trace.NewReplayer(tr))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("replayed %s (%d events) on %s: %d cycles, util %.1f%%\n",
+		tr.AppName, tr.Events(), cfg.Name(), res.Elapsed, 100*res.ProcessorUtilization())
+	total := float64(res.Breakdown.Total())
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		if v := res.Breakdown.Time[b]; v > 0 {
+			fmt.Printf("  %-12s %5.1f%%\n", b, 100*float64(v)/total)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
+	os.Exit(1)
+}

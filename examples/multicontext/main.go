@@ -1,0 +1,62 @@
+// Multicontext: how the run-length-to-latency ratio decides what multiple
+// hardware contexts buy. A workload knob varies the computation between
+// remote misses; with short run lengths a second and fourth context hide
+// most of the latency, while long run lengths leave little to hide and
+// the switch overhead shows up instead (the paper's Section 6 tradeoff).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latsim"
+)
+
+const lines = 250
+
+type missStream struct {
+	runLength int // compute cycles between misses
+	base      latsim.Addr
+	done      *latsim.Barrier
+}
+
+func (s *missStream) Name() string { return "miss-stream" }
+
+func (s *missStream) Setup(m *latsim.Machine) error {
+	total := m.Config().TotalProcesses() * lines
+	s.base = m.Alloc(total * latsim.LineSize)
+	s.done = m.NewBarrier(m.Config().TotalProcesses())
+	return nil
+}
+
+func (s *missStream) Worker(e *latsim.Env, pid, nprocs int) {
+	base := s.base + latsim.Addr(pid*lines*latsim.LineSize)
+	for i := 0; i < lines; i++ {
+		e.Read(base + latsim.Addr(i*latsim.LineSize))
+		e.Compute(s.runLength)
+	}
+	e.Barrier(s.done)
+}
+
+func main() {
+	fmt.Println("run-length  contexts  cycles/line  busy%  switching%  all-idle%")
+	for _, run := range []int{10, 40, 160} {
+		for _, ctxs := range []int{1, 2, 4} {
+			cfg := latsim.DefaultConfig()
+			cfg.Contexts = ctxs
+			cfg.SwitchPenalty = 4
+			res, err := latsim.Run(cfg, &missStream{runLength: run})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := float64(res.Breakdown.Total())
+			perLine := float64(res.Elapsed) / float64(lines*ctxs)
+			fmt.Printf("%10d %9d %12.1f %6.1f %11.1f %10.1f\n",
+				run, ctxs, perLine,
+				100*float64(res.Breakdown.Time[latsim.Busy])/total,
+				100*float64(res.Breakdown.Time[latsim.Switching])/total,
+				100*float64(res.Breakdown.Time[latsim.AllIdle])/total)
+		}
+		fmt.Println()
+	}
+}

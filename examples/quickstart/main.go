@@ -1,0 +1,36 @@
+// Quickstart: simulate the paper's LU benchmark on the DASH-like machine
+// under both consistency models and print the execution-time breakdowns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latsim"
+)
+
+func main() {
+	lu := latsim.LUDefaults()
+	lu.N = 96 // reduced matrix so the example runs in seconds
+
+	for _, model := range []latsim.Consistency{latsim.SC, latsim.RC} {
+		cfg := latsim.DefaultConfig() // 16 processors, coherent caches
+		cfg.Model = model
+
+		res, err := latsim.Run(cfg, latsim.NewLU(lu))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s on %s:\n", res.AppName, cfg.Name())
+		fmt.Printf("  %d cycles, %.0f%% processor utilization\n",
+			res.Elapsed, 100*res.ProcessorUtilization())
+		total := float64(res.Breakdown.Total())
+		for b := latsim.Bucket(0); b < latsim.NumBuckets; b++ {
+			if v := res.Breakdown.Time[b]; v > 0 {
+				fmt.Printf("  %-12s %5.1f%%\n", b, 100*float64(v)/total)
+			}
+		}
+		fmt.Println()
+	}
+}

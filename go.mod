@@ -1,0 +1,3 @@
+module latsim
+
+go 1.22

@@ -1,0 +1,239 @@
+// Package pthor is the PTHOR benchmark: a parallel distributed-time logic
+// simulator in the style of Chandy–Misra, the third of the paper's three
+// applications.
+//
+// The paper simulates five clock cycles of a small RISC processor of about
+// 11,000 two-input gates. That netlist is not available, so this package
+// generates a synthetic circuit with the same character: a layered
+// sequential design (deep combinational logic between ranks of
+// flip-flops), two-input gates, fan-out concentrated near the producing
+// gate so a spatial partition keeps most nets process-local.
+package pthor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GateKind is a logic element type.
+type GateKind uint8
+
+const (
+	AND GateKind = iota
+	OR
+	NAND
+	NOR
+	XOR
+	NOT
+	FF // D flip-flop, latched at the clock edge
+)
+
+func (k GateKind) String() string {
+	return [...]string{"AND", "OR", "NAND", "NOR", "XOR", "NOT", "FF"}[k]
+}
+
+// Gate is one logic element.
+type Gate struct {
+	Kind   GateKind
+	Level  int      // combinational rank; FFs have Level == Depth
+	In     [2]int32 // input gate ids; In[1] == -1 for NOT and FF
+	Fanout []int32  // gate ids whose inputs this gate drives
+	Toggle bool     // forced-toggle FF (external stimulus)
+}
+
+// Circuit is a synthetic sequential netlist.
+type Circuit struct {
+	Gates []Gate
+	Depth int     // number of combinational levels
+	FFs   []int32 // ids of flip-flop gates
+	Comb  []int32 // ids of combinational gates, level-major order
+}
+
+// CircuitParams controls generation.
+type CircuitParams struct {
+	Gates  int // total elements (paper: ~11,000)
+	Depth  int // combinational levels (20 reproduces the paper's barrier count)
+	FFFrac float64
+	Seed   int64
+}
+
+// DefaultCircuit matches the paper's circuit scale.
+func DefaultCircuit() CircuitParams {
+	return CircuitParams{Gates: 11000, Depth: 20, FFFrac: 0.10, Seed: 1991}
+}
+
+// GenerateCircuit builds a layered sequential circuit:
+//   - nFF flip-flops whose outputs feed combinational logic and whose D
+//     inputs sample the deepest levels,
+//   - Depth ranks of two-input gates; rank-0 gates read flip-flops, deeper
+//     gates read earlier ranks (biased to the immediately preceding rank
+//     and to nearby gate indices, giving the partition spatial locality),
+//   - a few forced-toggle flip-flops that provide external stimulus so the
+//     circuit stays active every cycle.
+func GenerateCircuit(p CircuitParams) *Circuit {
+	if p.Gates < p.Depth*4 {
+		panic(fmt.Sprintf("pthor: circuit too small: %d gates for depth %d", p.Gates, p.Depth))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	nFF := int(float64(p.Gates) * p.FFFrac)
+	if nFF < 4 {
+		nFF = 4
+	}
+	nComb := p.Gates - nFF
+	c := &Circuit{Gates: make([]Gate, p.Gates), Depth: p.Depth}
+
+	// Flip-flops occupy ids [0, nFF).
+	for i := 0; i < nFF; i++ {
+		c.Gates[i] = Gate{Kind: FF, Level: p.Depth, In: [2]int32{-1, -1}}
+		c.FFs = append(c.FFs, int32(i))
+	}
+	// Forced-toggle stimulus: ~1/32 of flip-flops.
+	for i := 0; i < nFF; i += 32 {
+		c.Gates[i].Toggle = true
+	}
+
+	// Combinational gates occupy ids [nFF, Gates), assigned to levels in
+	// order so that level-major id order matches generation order.
+	perLevel := nComb / p.Depth
+	id := nFF
+	levelStart := make([]int, p.Depth+1)
+	for lvl := 0; lvl < p.Depth; lvl++ {
+		levelStart[lvl] = id
+		count := perLevel
+		if lvl == p.Depth-1 {
+			count = nComb - perLevel*(p.Depth-1) // remainder in last level
+		}
+		for g := 0; g < count; g++ {
+			kind := []GateKind{AND, OR, NAND, NOR, XOR, NOT}[rng.Intn(6)]
+			gt := Gate{Kind: kind, Level: lvl, In: [2]int32{-1, -1}}
+			gt.In[0] = c.pickInput(rng, lvl, id, levelStart, nFF)
+			if kind != NOT {
+				gt.In[1] = c.pickInput(rng, lvl, id, levelStart, nFF)
+			}
+			c.Gates[id] = gt
+			c.Comb = append(c.Comb, int32(id))
+			id++
+		}
+	}
+	levelStart[p.Depth] = id
+
+	// Flip-flop D inputs sample the deepest third of the logic.
+	deepStart := levelStart[p.Depth*2/3]
+	for _, f := range c.FFs {
+		src := deepStart + rng.Intn(id-deepStart)
+		c.Gates[f].In[0] = int32(src)
+	}
+
+	// Build fanout lists from inputs.
+	for g := range c.Gates {
+		for _, in := range c.Gates[g].In {
+			if in >= 0 {
+				c.Gates[in].Fanout = append(c.Gates[in].Fanout, int32(g))
+			}
+		}
+	}
+	return c
+}
+
+// pickInput selects an input for a gate at level lvl with id-locality
+// bias: mostly the previous level near the same relative position,
+// sometimes a flip-flop, occasionally a distant earlier level.
+func (c *Circuit) pickInput(rng *rand.Rand, lvl, id int, levelStart []int, nFF int) int32 {
+	r := rng.Float64()
+	if lvl == 0 || r < 0.15 {
+		return int32(rng.Intn(nFF)) // a flip-flop output
+	}
+	srcLvl := lvl - 1
+	if r > 0.80 && lvl >= 2 {
+		srcLvl = rng.Intn(lvl) // a distant earlier level
+	}
+	lo, hi := levelStart[srcLvl], levelStart[srcLvl+1]
+	if hi <= lo {
+		return int32(rng.Intn(nFF))
+	}
+	// Locality: prefer gates near the same relative position in the
+	// source level.
+	rel := float64(id-levelStart[lvl]) / float64(levelStart[lvl+1]-levelStart[lvl]+1)
+	center := lo + int(rel*float64(hi-lo))
+	span := (hi - lo) / 4
+	if span < 1 {
+		span = 1
+	}
+	src := center + rng.Intn(2*span+1) - span
+	if src < lo {
+		src = lo
+	}
+	if src >= hi {
+		src = hi - 1
+	}
+	return int32(src)
+}
+
+// Eval computes a gate's output from input values.
+func Eval(kind GateKind, a, b bool) bool {
+	switch kind {
+	case AND:
+		return a && b
+	case OR:
+		return a || b
+	case NAND:
+		return !(a && b)
+	case NOR:
+		return !(a || b)
+	case XOR:
+		return a != b
+	case NOT:
+		return !a
+	}
+	panic("pthor: Eval on flip-flop")
+}
+
+// RefSim is the golden synchronous gate-level simulator used to verify the
+// distributed-time simulator: settle all combinational levels in rank
+// order, then latch the flip-flops, once per clock cycle.
+type RefSim struct {
+	c   *Circuit
+	Val []bool
+}
+
+// NewRefSim initializes reference state (flip-flops from the seed, like
+// the app).
+func NewRefSim(c *Circuit, seed int64) *RefSim {
+	r := &RefSim{c: c, Val: make([]bool, len(c.Gates))}
+	rng := rand.New(rand.NewSource(seed))
+	for _, f := range c.FFs {
+		r.Val[f] = rng.Intn(2) == 1
+	}
+	r.settle()
+	return r
+}
+
+func (r *RefSim) settle() {
+	for _, g := range r.c.Comb {
+		gt := &r.c.Gates[g]
+		a := r.Val[gt.In[0]]
+		b := false
+		if gt.In[1] >= 0 {
+			b = r.Val[gt.In[1]]
+		}
+		r.Val[g] = Eval(gt.Kind, a, b)
+	}
+}
+
+// Cycle advances one clock cycle: latch flip-flops from the settled
+// combinational values, apply forced toggles, then settle.
+func (r *RefSim) Cycle() {
+	next := make([]bool, len(r.c.FFs))
+	for i, f := range r.c.FFs {
+		gt := &r.c.Gates[f]
+		if gt.Toggle {
+			next[i] = !r.Val[f]
+		} else {
+			next[i] = r.Val[gt.In[0]]
+		}
+	}
+	for i, f := range r.c.FFs {
+		r.Val[f] = next[i]
+	}
+	r.settle()
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"latsim/internal/config"
+	"latsim/internal/sim"
+	"latsim/internal/stats"
+)
+
+// HitRateRow reports the cache hit rates of Section 3 of the paper.
+type HitRateRow struct {
+	App          string
+	ReadHitRate  float64
+	WriteHitRate float64
+	PaperRead    float64
+	PaperWrite   float64
+}
+
+// HitRates reproduces the Section 3 hit-rate numbers (scaled caches,
+// cached SC machine). The paper reports 80/66/77% shared-read and
+// 75/97/47% shared-write hit rates for MP3D/LU/PTHOR.
+func (s *Session) HitRates() ([]HitRateRow, error) {
+	paperRead := map[string]float64{"MP3D": 0.80, "LU": 0.66, "PTHOR": 0.77}
+	paperWrite := map[string]float64{"MP3D": 0.75, "LU": 0.97, "PTHOR": 0.47}
+	var rows []HitRateRow
+	for _, app := range AppNames {
+		res, err := s.Run(app, Base())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HitRateRow{
+			App:          app,
+			ReadHitRate:  res.ReadHitRate(),
+			WriteHitRate: res.WriteHitRate(),
+			PaperRead:    paperRead[app],
+			PaperWrite:   paperWrite[app],
+		})
+	}
+	return rows, nil
+}
+
+// RenderHitRates prints the hit-rate comparison.
+func RenderHitRates(w io.Writer, rows []HitRateRow) {
+	fmt.Fprintln(w, "Section 3 hit rates (scaled caches, cached SC)")
+	fmt.Fprintf(w, "  %-8s %12s %12s %12s %12s\n", "Program", "read", "read(paper)", "write", "write(paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %11.0f%% %11.0f%% %11.0f%% %11.0f%%\n",
+			r.App, 100*r.ReadHitRate, 100*r.PaperRead, 100*r.WriteHitRate, 100*r.PaperWrite)
+	}
+}
+
+// AblationPoint is one setting of an ablation sweep.
+type AblationPoint struct {
+	Setting string
+	App     string
+	Total   sim.Time
+	Busy    sim.Time
+}
+
+// Ablation is a parameter sweep over one design choice.
+type Ablation struct {
+	ID     string
+	Title  string
+	Points []AblationPoint
+}
+
+// RenderAblation prints a sweep.
+func (a *Ablation) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", a.ID, a.Title)
+	fmt.Fprintf(w, "  %-8s %-16s %12s %12s\n", "app", "setting", "cycles", "busy")
+	for _, p := range a.Points {
+		fmt.Fprintf(w, "  %-8s %-16s %12d %12d\n", p.App, p.Setting, p.Total, p.Busy)
+	}
+}
+
+// sweep runs a config mutation sweep over all applications.
+func (s *Session) sweep(id, title string, settings []string, mut func(cfg *config.Config, i int)) (*Ablation, error) {
+	ab := &Ablation{ID: id, Title: title}
+	for _, app := range AppNames {
+		for i, set := range settings {
+			cfg := Base()
+			mut(&cfg, i)
+			res, err := s.Run(app, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ab.Points = append(ab.Points, AblationPoint{
+				Setting: set,
+				App:     app,
+				Total:   res.Breakdown.Total(),
+				Busy:    res.Breakdown.Time[stats.Busy],
+			})
+		}
+	}
+	return ab, nil
+}
+
+// FullCacheAblation is the paper's Section 2.3 sensitivity check: rerun
+// with the unscaled 64 KB / 256 KB caches; absolute times drop but the
+// relative gains from the techniques stay similar.
+func (s *Session) FullCacheAblation() (*Ablation, error) {
+	return s.sweep("fullcache", "Scaled (2KB/4KB) vs full (64KB/256KB) caches, SC",
+		[]string{"scaled", "full"}, func(cfg *config.Config, i int) {
+			if i == 1 {
+				*cfg = cfg.FullCaches()
+			}
+		})
+}
+
+// WriteBufferAblation sweeps write-buffer depth under RC.
+func (s *Session) WriteBufferAblation() (*Ablation, error) {
+	depths := []int{1, 4, 16, 64}
+	return s.sweep("wbuf", "Write-buffer depth under RC",
+		[]string{"wb=1", "wb=4", "wb=16", "wb=64"}, func(cfg *config.Config, i int) {
+			cfg.Model = config.RC
+			cfg.WriteBufferDepth = depths[i]
+		})
+}
+
+// SwitchPenaltyAblation sweeps the context-switch overhead (4 contexts).
+func (s *Session) SwitchPenaltyAblation() (*Ablation, error) {
+	pens := []int{1, 4, 8, 16, 32}
+	return s.sweep("switch", "Context-switch penalty (4 contexts, SC)",
+		[]string{"sw=1", "sw=4", "sw=8", "sw=16", "sw=32"}, func(cfg *config.Config, i int) {
+			cfg.Contexts = 4
+			cfg.SwitchPenalty = pens[i]
+		})
+}
+
+// NetworkAblation sweeps the network hop wire latency (remote:local
+// latency ratio).
+func (s *Session) NetworkAblation() (*Ablation, error) {
+	wires := []int{5, 15, 45, 90}
+	return s.sweep("network", "Network hop wire latency, SC",
+		[]string{"wire=5", "wire=15", "wire=45", "wire=90"}, func(cfg *config.Config, i int) {
+			cfg.Lat.Wire = wires[i]
+		})
+}
+
+// MeshAblation compares the direct constant-latency network with the
+// 2-D wormhole mesh (the real DASH topology).
+func (s *Session) MeshAblation() (*Ablation, error) {
+	return s.sweep("mesh", "Interconnect topology: direct vs 2-D mesh, SC",
+		[]string{"direct", "mesh"}, func(cfg *config.Config, i int) {
+			cfg.MeshNetwork = i == 1
+		})
+}
+
+// PipeliningAblation sweeps the number of outstanding writes under RC
+// (the lockup-free cache's write MSHRs).
+func (s *Session) PipeliningAblation() (*Ablation, error) {
+	ows := []int{1, 2, 4, 8}
+	return s.sweep("owrites", "Outstanding writes under RC",
+		[]string{"ow=1", "ow=2", "ow=4", "ow=8"}, func(cfg *config.Config, i int) {
+			cfg.Model = config.RC
+			cfg.MaxOutstandingWrites = ows[i]
+		})
+}

@@ -1,0 +1,515 @@
+// Package core is the paper's primary contribution rebuilt as a library:
+// the consistent comparative-evaluation framework for the four latency
+// reducing/tolerating techniques. It defines every experiment in the
+// evaluation — Tables 1 and 2, Figures 2 through 6, the hit-rate and
+// speedup summaries — plus the ablations called out in DESIGN.md, and
+// renders them in the paper's format (normalized execution-time
+// breakdowns).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"latsim/internal/apps/lu"
+	"latsim/internal/apps/mp3d"
+	"latsim/internal/apps/pthor"
+	"latsim/internal/config"
+	"latsim/internal/machine"
+	"latsim/internal/sim"
+	"latsim/internal/stats"
+)
+
+// Scale selects the data-set sizes.
+type Scale int
+
+const (
+	// ScaleSmall runs reduced data sets with the same structure — the
+	// same methodological scaling the paper applies to cache sizes.
+	// Suitable for benchmarks and CI.
+	ScaleSmall Scale = iota
+	// ScalePaper runs the paper's exact data sets (10,000-particle
+	// MP3D, 200x200 LU, ~11,000-gate PTHOR).
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "small"
+}
+
+// ParseScale converts a -scale flag value.
+func ParseScale(v string) (Scale, error) {
+	switch v {
+	case "small":
+		return ScaleSmall, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("core: unknown scale %q (want small or paper)", v)
+}
+
+// AppNames lists the benchmarks in the paper's order.
+var AppNames = []string{"MP3D", "LU", "PTHOR"}
+
+// Session runs experiments, memoizing results so figures sharing
+// configurations (e.g. the cached-SC baseline) simulate once.
+type Session struct {
+	Scale   Scale
+	Trace   io.Writer // optional progress output
+	results map[string]*machine.Result
+}
+
+// NewSession creates an experiment session at the given scale.
+func NewSession(scale Scale) *Session {
+	return &Session{Scale: scale, results: make(map[string]*machine.Result)}
+}
+
+// newApp builds a benchmark instance (fresh per run: apps hold state).
+func (s *Session) newApp(name string, prefetch bool) machine.App {
+	switch name {
+	case "MP3D":
+		p := mp3d.Default()
+		if s.Scale == ScaleSmall {
+			p = mp3d.Scaled(2000, 2)
+		}
+		p.Prefetch = prefetch
+		return mp3d.New(p)
+	case "LU":
+		p := lu.Default()
+		if s.Scale == ScaleSmall {
+			p = lu.Scaled(96)
+		}
+		p.Prefetch = prefetch
+		return lu.New(p)
+	case "PTHOR":
+		p := pthor.Default()
+		if s.Scale == ScaleSmall {
+			p.Circuit.Gates = 3000
+			p.Circuit.Depth = 12
+			p.Cycles = 2
+		}
+		p.Prefetch = prefetch
+		return pthor.New(p)
+	}
+	panic("core: unknown app " + name)
+}
+
+// Run simulates one (app, configuration) pair, memoized.
+func (s *Session) Run(app string, cfg config.Config) (*machine.Result, error) {
+	// The key covers the entire configuration (Config is a value type).
+	key := fmt.Sprintf("%s|%+v", app, cfg)
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	if s.Trace != nil {
+		fmt.Fprintf(s.Trace, "  running %s on %s (%s scale)...\n", app, cfg.Name(), s.Scale)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run(s.newApp(app, cfg.Prefetch))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", app, cfg.Name(), err)
+	}
+	s.results[key] = res
+	return res, nil
+}
+
+// Base returns the paper's base machine configuration (cached, SC,
+// single context).
+func Base() config.Config { return config.Default() }
+
+// Bar is one stacked bar of a figure: a configuration's execution time
+// decomposed into bucket percentages of the per-application baseline
+// (the baseline bar totals 100).
+type Bar struct {
+	Label  string
+	Pct    [stats.NumBuckets]float64
+	Total  float64
+	Result *machine.Result
+}
+
+// Figure is one reproduced figure: per application, a list of bars.
+type Figure struct {
+	ID     string
+	Title  string
+	Apps   []string
+	Bars   map[string][]Bar
+	Legend []stats.Bucket // buckets shown, bottom-up
+}
+
+// barFor normalizes a result against base.
+func barFor(label string, res *machine.Result, base sim.Time) Bar {
+	b := Bar{Label: label, Result: res}
+	n := res.Breakdown.Normalized(base)
+	for i := range n {
+		b.Pct[i] = n[i]
+		b.Total += n[i]
+	}
+	return b
+}
+
+// Render prints the figure as a table in the paper's breakdown format.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	for _, app := range f.Apps {
+		fmt.Fprintf(w, "  %s\n", app)
+		fmt.Fprintf(w, "    %-24s %8s", "configuration", "total")
+		for _, b := range f.Legend {
+			fmt.Fprintf(w, " %9s", b)
+		}
+		fmt.Fprintln(w)
+		for _, bar := range f.Bars[app] {
+			fmt.Fprintf(w, "    %-24s %8.1f", bar.Label, bar.Total)
+			for _, b := range f.Legend {
+				fmt.Fprintf(w, " %9.1f", bar.Pct[b])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// singleCtxLegend matches Figures 2-4: busy, read, write, sync (+pf).
+var singleCtxLegend = []stats.Bucket{
+	stats.Busy, stats.ReadStall, stats.WriteStall, stats.SyncStall,
+	stats.PrefetchOverhead,
+}
+
+// mcLegend matches Figures 5-6: busy, switching, all idle, no-switch
+// (+pf overhead in Figure 6).
+var mcLegend = []stats.Bucket{
+	stats.Busy, stats.Switching, stats.AllIdle, stats.NoSwitchIdle,
+	stats.SyncStall, stats.PrefetchOverhead,
+}
+
+// Figure2 reproduces "Effect of caching shared data": per application,
+// normalized breakdowns without and with hardware-coherent caching of
+// shared data, under sequential consistency.
+func (s *Session) Figure2() (*Figure, error) {
+	f := &Figure{
+		ID:     "Figure 2",
+		Title:  "Effect of caching shared data (SC)",
+		Apps:   AppNames,
+		Bars:   map[string][]Bar{},
+		Legend: singleCtxLegend,
+	}
+	for _, app := range AppNames {
+		nocache := Base()
+		nocache.CacheShared = false
+		rn, err := s.Run(app, nocache)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := s.Run(app, Base())
+		if err != nil {
+			return nil, err
+		}
+		base := rn.Breakdown.Total()
+		f.Bars[app] = []Bar{
+			barFor("No Cache", rn, base),
+			barFor("Cache", rc, base),
+		}
+	}
+	return f, nil
+}
+
+// Figure3 reproduces "Effect of relaxing the consistency model": SC vs RC
+// with coherent caches, normalized to SC.
+func (s *Session) Figure3() (*Figure, error) {
+	f := &Figure{
+		ID:     "Figure 3",
+		Title:  "Effect of relaxing the consistency model",
+		Apps:   AppNames,
+		Bars:   map[string][]Bar{},
+		Legend: singleCtxLegend,
+	}
+	for _, app := range AppNames {
+		sc, err := s.Run(app, Base())
+		if err != nil {
+			return nil, err
+		}
+		rcCfg := Base()
+		rcCfg.Model = config.RC
+		rc, err := s.Run(app, rcCfg)
+		if err != nil {
+			return nil, err
+		}
+		base := sc.Breakdown.Total()
+		f.Bars[app] = []Bar{
+			barFor("SC", sc, base),
+			barFor("RC", rc, base),
+		}
+	}
+	return f, nil
+}
+
+// Figure4 reproduces "Effect of prefetching": {SC, RC} x {no prefetch,
+// prefetch}, normalized to SC without prefetching.
+func (s *Session) Figure4() (*Figure, error) {
+	f := &Figure{
+		ID:     "Figure 4",
+		Title:  "Effect of software-controlled prefetching",
+		Apps:   AppNames,
+		Bars:   map[string][]Bar{},
+		Legend: singleCtxLegend,
+	}
+	for _, app := range AppNames {
+		var bars []Bar
+		var base sim.Time
+		for _, mdl := range []config.Consistency{config.SC, config.RC} {
+			for _, pf := range []bool{false, true} {
+				cfg := Base()
+				cfg.Model = mdl
+				cfg.Prefetch = pf
+				res, err := s.Run(app, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if base == 0 {
+					base = res.Breakdown.Total()
+				}
+				label := mdl.String()
+				if pf {
+					label += " Prefetch"
+				} else {
+					label += " Normal"
+				}
+				bars = append(bars, barFor(label, res, base))
+			}
+		}
+		f.Bars[app] = bars
+	}
+	return f, nil
+}
+
+// Figure5 reproduces "Effect of multiple contexts" under SC: 1, 2 and 4
+// contexts with context-switch penalties of 16 and 4 cycles.
+func (s *Session) Figure5() (*Figure, error) {
+	f := &Figure{
+		ID:     "Figure 5",
+		Title:  "Effect of multiple contexts (SC)",
+		Apps:   AppNames,
+		Bars:   map[string][]Bar{},
+		Legend: mcLegend,
+	}
+	for _, app := range AppNames {
+		single, err := s.Run(app, Base())
+		if err != nil {
+			return nil, err
+		}
+		base := single.Breakdown.Total()
+		bars := []Bar{barFor("1 ctx", single, base)}
+		for _, pen := range []int{16, 4} {
+			for _, ctxs := range []int{2, 4} {
+				cfg := Base()
+				cfg.Contexts = ctxs
+				cfg.SwitchPenalty = pen
+				res, err := s.Run(app, cfg)
+				if err != nil {
+					return nil, err
+				}
+				bars = append(bars, barFor(fmt.Sprintf("%d ctx/sw %d", ctxs, pen), res, base))
+			}
+		}
+		f.Bars[app] = bars
+	}
+	return f, nil
+}
+
+// Figure6 reproduces "Effect of combining the schemes": {SC, RC} x {1, 2,
+// 4 contexts} without prefetching plus RC x {1, 2, 4 contexts} with
+// prefetching, all with a 4-cycle switch penalty, normalized to SC/1ctx.
+func (s *Session) Figure6() (*Figure, error) {
+	f := &Figure{
+		ID:     "Figure 6",
+		Title:  "Effect of combining the schemes (switch penalty 4)",
+		Apps:   AppNames,
+		Bars:   map[string][]Bar{},
+		Legend: mcLegend,
+	}
+	type group struct {
+		mdl config.Consistency
+		pf  bool
+		tag string
+	}
+	groups := []group{
+		{config.SC, false, "SC"},
+		{config.RC, false, "RC"},
+		{config.RC, true, "RC+pf"},
+	}
+	for _, app := range AppNames {
+		var bars []Bar
+		var base sim.Time
+		for _, g := range groups {
+			for _, ctxs := range []int{1, 2, 4} {
+				cfg := Base()
+				cfg.Model = g.mdl
+				cfg.Prefetch = g.pf
+				cfg.Contexts = ctxs
+				cfg.SwitchPenalty = 4
+				res, err := s.Run(app, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if base == 0 {
+					base = res.Breakdown.Total()
+				}
+				bars = append(bars, barFor(fmt.Sprintf("%s %d ctx", g.tag, ctxs), res, base))
+			}
+		}
+		f.Bars[app] = bars
+	}
+	return f, nil
+}
+
+// Table1Row is one latency row: configured vs measured service time.
+type Table1Row struct {
+	Operation string
+	Paper     sim.Time
+	Measured  sim.Time
+}
+
+// Table2Row is one application's general statistics (Table 2).
+type Table2Row struct {
+	App           string
+	UsefulKCyc    uint64
+	SharedReadsK  uint64
+	SharedWritesK uint64
+	Locks         uint64
+	Barriers      uint64
+	SharedKB      uint64
+	ReadHitRate   float64
+	WriteHitRate  float64
+	Utilization   float64
+	MedianRun     sim.Time
+}
+
+// Table2 reproduces the benchmark statistics table (under the cached-SC
+// base machine).
+func (s *Session) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, app := range AppNames {
+		res, err := s.Run(app, Base())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			App:           app,
+			UsefulKCyc:    res.UsefulCycles() / 1000,
+			SharedReadsK:  res.SharedReads() / 1000,
+			SharedWritesK: res.SharedWrites() / 1000,
+			Locks:         res.Locks(),
+			Barriers:      res.Barriers(),
+			SharedKB:      res.SharedBytes / 1024,
+			ReadHitRate:   res.ReadHitRate(),
+			WriteHitRate:  res.WriteHitRate(),
+			Utilization:   res.ProcessorUtilization(),
+			MedianRun:     res.MedianRunLength(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints Table 2 in the paper's layout.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: General statistics for the benchmarks")
+	fmt.Fprintf(w, "  %-8s %12s %12s %13s %8s %9s %10s %7s %7s %6s %7s\n",
+		"Program", "Useful(K)", "Reads(K)", "Writes(K)", "Locks", "Barriers",
+		"Shared(KB)", "hitR", "hitW", "util", "runlen")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %12d %12d %13d %8d %9d %10d %7.2f %7.2f %6.2f %7d\n",
+			r.App, r.UsefulKCyc, r.SharedReadsK, r.SharedWritesK, r.Locks,
+			r.Barriers, r.SharedKB, r.ReadHitRate, r.WriteHitRate,
+			r.Utilization, r.MedianRun)
+	}
+}
+
+// SpeedupRow summarizes a technique combination's speedup per app.
+type SpeedupRow struct {
+	App     string
+	Label   string
+	Speedup float64
+}
+
+// Summary computes the paper's headline speedups: each combination versus
+// the uncached sequentially consistent baseline, and the best overall
+// (the paper reports 4x to 7x).
+func (s *Session) Summary() ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, app := range AppNames {
+		nocache := Base()
+		nocache.CacheShared = false
+		baseRes, err := s.Run(app, nocache)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(baseRes.Breakdown.Total())
+
+		add := func(label string, cfg config.Config) error {
+			res, err := s.Run(app, cfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, SpeedupRow{
+				App:     app,
+				Label:   label,
+				Speedup: base / float64(res.Breakdown.Total()),
+			})
+			return nil
+		}
+		cache := Base()
+		if err := add("cache", cache); err != nil {
+			return nil, err
+		}
+		rcCfg := Base()
+		rcCfg.Model = config.RC
+		if err := add("cache+RC", rcCfg); err != nil {
+			return nil, err
+		}
+		pfCfg := rcCfg
+		pfCfg.Prefetch = true
+		if err := add("cache+RC+pf", pfCfg); err != nil {
+			return nil, err
+		}
+		mcCfg := rcCfg
+		mcCfg.Contexts = 4
+		mcCfg.SwitchPenalty = 4
+		if err := add("cache+RC+4ctx", mcCfg); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// BestSpeedups returns, per app, the best combination's speedup.
+func BestSpeedups(rows []SpeedupRow) map[string]float64 {
+	best := map[string]float64{}
+	for _, r := range rows {
+		if r.Speedup > best[r.App] {
+			best[r.App] = r.Speedup
+		}
+	}
+	return best
+}
+
+// RenderSummary prints the speedup table.
+func RenderSummary(w io.Writer, rows []SpeedupRow) {
+	fmt.Fprintln(w, "Summary: speedups over the uncached SC baseline (paper: best combinations reach 4x-7x)")
+	byApp := map[string][]SpeedupRow{}
+	for _, r := range rows {
+		byApp[r.App] = append(byApp[r.App], r)
+	}
+	for _, app := range AppNames {
+		fmt.Fprintf(w, "  %s:\n", app)
+		rs := byApp[app]
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Speedup < rs[j].Speedup })
+		for _, r := range rs {
+			fmt.Fprintf(w, "    %-16s %5.2fx\n", r.Label, r.Speedup)
+		}
+	}
+}

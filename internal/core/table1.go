@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"latsim/internal/config"
+	"latsim/internal/cpu"
+	"latsim/internal/machine"
+	"latsim/internal/mem"
+	"latsim/internal/msync"
+	"latsim/internal/sim"
+)
+
+// Table1 measures the memory-operation service latencies on an idle
+// machine with directed probes and compares them with the paper's
+// Table 1. The probes run as a tiny application on the real machine, so
+// they exercise the full processor + memory-system path, including the
+// 1-cycle issue the processor accounts for loads.
+func Table1() ([]Table1Row, error) {
+	probe := &latencyProbe{}
+	cfg := config.Default()
+	cfg.Procs = 4
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Run(probe); err != nil {
+		return nil, err
+	}
+	rows := []Table1Row{
+		{Operation: "read: hit in primary cache", Paper: 1},
+		{Operation: "read: fill from secondary cache", Paper: 14},
+		{Operation: "read: fill from local node", Paper: 26},
+		{Operation: "read: fill from home node", Paper: 72},
+		{Operation: "read: fill from remote node (dirty)", Paper: 90},
+		{Operation: "write: owned by secondary cache", Paper: 2},
+		{Operation: "write: owned by local node", Paper: 18},
+		{Operation: "write: owned in home node", Paper: 64},
+		{Operation: "write: owned in remote node (dirty)", Paper: 82},
+	}
+	if len(probe.out) != len(rows) {
+		return nil, fmt.Errorf("core: probe measured %d latencies, want %d", len(probe.out), len(rows))
+	}
+	for i := range rows {
+		rows[i].Measured = probe.out[i]
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the latency comparison.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: Latency for memory system operations (pclocks)")
+	fmt.Fprintf(w, "  %-40s %8s %9s\n", "operation", "paper", "measured")
+	for _, r := range rows {
+		mark := ""
+		if r.Measured != r.Paper {
+			mark = "  *"
+		}
+		fmt.Fprintf(w, "  %-40s %8d %9d%s\n", r.Operation, r.Paper, r.Measured, mark)
+	}
+}
+
+// latencyProbe measures each Table 1 operation. Process 2 prepares the
+// dirty-remote lines, then process 0 measures; the other processes stay
+// idle so there is no contention.
+type latencyProbe struct {
+	out []sim.Time
+
+	rdLocal, rdRemote, rdDirty mem.Addr
+	wrLocal, wrRemote, wrDirty mem.Addr
+	conflict                   mem.Addr
+	bar                        *msync.Barrier
+	primaryBytes               int
+	secondaryBytes             int
+}
+
+func (p *latencyProbe) Name() string { return "latency-probe" }
+
+func (p *latencyProbe) Setup(m *machine.Machine) error {
+	p.rdLocal = m.AllocOnNode(mem.LineSize, 0)
+	p.rdRemote = m.AllocOnNode(mem.LineSize, 1)
+	p.rdDirty = m.AllocOnNode(mem.LineSize, 1)
+	p.wrLocal = m.AllocOnNode(mem.LineSize, 0)
+	p.wrRemote = m.AllocOnNode(mem.LineSize, 1)
+	p.wrDirty = m.AllocOnNode(mem.LineSize, 1)
+	p.primaryBytes = m.Config().PrimaryBytes
+	p.secondaryBytes = m.Config().SecondaryBytes
+	// A block on node 0 big enough to contain a line that conflicts with
+	// rdLocal in the primary cache (same primary set, different tag) but
+	// not in the larger secondary cache.
+	p.conflict = m.AllocOnNode(p.secondaryBytes+p.primaryBytes+2*mem.LineSize, 0)
+	p.bar = m.NewBarrier(m.Config().TotalProcesses())
+	return nil
+}
+
+// primaryConflict returns an address mapping to the same primary-cache set
+// as a but a different secondary-cache set, so reading it evicts a from
+// the primary only.
+func (p *latencyProbe) primaryConflict(a mem.Addr) mem.Addr {
+	primSets := uint64(p.primaryBytes) / mem.LineSize
+	secSets := uint64(p.secondaryBytes) / mem.LineSize
+	wantPrim := uint64(a) / mem.LineSize % primSets
+	avoidSec := uint64(a) / mem.LineSize % secSets
+	for c := p.conflict; ; c += mem.LineSize {
+		line := uint64(c) / mem.LineSize
+		if line%primSets == wantPrim && line%secSets != avoidSec {
+			return c
+		}
+	}
+}
+
+func (p *latencyProbe) Worker(e *cpu.Env, pid, nprocs int) {
+	e.Barrier(p.bar)
+	if pid == 2 {
+		// Create the dirty-remote copies (homed on node 1, dirty here).
+		// This happens after the barrier so no barrier traffic can evict
+		// them from node 2's cache before the measurement.
+		e.Write(p.rdDirty)
+		e.Write(p.wrDirty)
+	}
+	if pid != 0 {
+		return
+	}
+	// Let the dirty-copy writes and residual barrier traffic (acks,
+	// refetches) finish so the probes measure a contention-free machine.
+	e.Compute(2000)
+	measure := func(op func()) {
+		t0 := e.Now()
+		op()
+		p.out = append(p.out, e.Now()-t0)
+	}
+	// Reads. Order matters: the first local read is the cold fill; the
+	// second is the primary hit; evicting it from the primary (conflict
+	// fill) exposes the secondary fill.
+	var primaryHit, localFill, secFill sim.Time
+	t0 := e.Now()
+	e.Read(p.rdLocal)
+	localFill = e.Now() - t0
+	t0 = e.Now()
+	e.Read(p.rdLocal)
+	primaryHit = e.Now() - t0
+	e.Read(p.primaryConflict(p.rdLocal)) // evict from primary only
+	t0 = e.Now()
+	e.Read(p.rdLocal)
+	secFill = e.Now() - t0
+	p.out = append(p.out, primaryHit, secFill, localFill)
+	measure(func() { e.Read(p.rdRemote) })
+	measure(func() { e.Read(p.rdDirty) })
+
+	// Writes. Under SC the processor stalls exactly the ownership
+	// latency, so Now() deltas minus the 1-cycle issue give the write
+	// service times.
+	wmeasure := func(a mem.Addr) {
+		e.Compute(500) // drain background writebacks from earlier probes
+		t0 := e.Now()
+		e.Write(a)
+		p.out = append(p.out, e.Now()-t0-1)
+	}
+	e.Write(p.wrLocal) // acquire ownership once...
+	t0 = e.Now()
+	e.Write(p.wrLocal) // ...then measure the owned-by-secondary hit
+	ownedHit := e.Now() - t0 - 1
+	// Local-node ownership: a fresh local line (the far end of the
+	// conflict block, beyond anything the probes above touched).
+	freshLocal := p.conflict + mem.Addr(p.secondaryBytes+p.primaryBytes)
+	e.Compute(500) // drain background writebacks
+	tw := e.Now()
+	e.Write(freshLocal)
+	localWrite := e.Now() - tw - 1
+	p.out = append(p.out, ownedHit, localWrite)
+	wmeasure(p.wrRemote)
+	wmeasure(p.wrDirty)
+}
+
+var _ machine.App = (*latencyProbe)(nil)

@@ -1,0 +1,550 @@
+// Package cpu models the processor environment: an in-order blocking-read
+// processor with one or more hardware contexts, the consistency-model
+// enforcement (SC write stalls vs RC write buffering), prefetch issue, and
+// the Tango-style coupling of application processes to the simulator.
+package cpu
+
+import (
+	"fmt"
+
+	"latsim/internal/config"
+	"latsim/internal/mem"
+	"latsim/internal/memsys"
+	"latsim/internal/msync"
+	"latsim/internal/sim"
+	"latsim/internal/stats"
+)
+
+// opKind enumerates the operations a process can submit to the simulator.
+type opKind int
+
+const (
+	opNone opKind = iota
+	opCompute
+	opPFCompute
+	opSpin
+	opRead
+	opWrite
+	opPrefetch
+	opLock
+	opUnlock
+	opBarrier
+)
+
+// op is one submitted operation.
+type op struct {
+	kind   opKind
+	addr   mem.Addr
+	cycles int
+	excl   bool
+	lock   *msync.Lock
+	bar    *msync.Barrier
+}
+
+// ctxState is the scheduling state of a hardware context.
+type ctxState int
+
+const (
+	ctxReady ctxState = iota
+	ctxRunning
+	ctxBlocked
+	ctxDone
+)
+
+// Context is one hardware context: a register set bound to one application
+// process.
+type Context struct {
+	idx   int
+	p     *Processor
+	co    *sim.Coroutine
+	env   *Env
+	state ctxState
+	cur   op
+	cause stats.Bucket // why it blocked (single-context idle attribution)
+}
+
+// Processor is one node's processor with its hardware contexts.
+type Processor struct {
+	k    *sim.Kernel
+	cfg  *config.Config
+	node *memsys.Node
+	st   *stats.Proc
+
+	ctxs      []*Context
+	lastRun   *Context
+	idle      bool
+	idleSince sim.Time
+	finished  int
+	doneAt    sim.Time
+	busyRun   sim.Time
+
+	trace TraceFn // optional reference-stream observer
+}
+
+// SetTrace installs a reference-stream observer (nil disables tracing).
+func (p *Processor) SetTrace(fn TraceFn) { p.trace = fn }
+
+// NewProcessor creates the processor for a node.
+func NewProcessor(k *sim.Kernel, cfg *config.Config, node *memsys.Node, st *stats.Proc) *Processor {
+	return &Processor{k: k, cfg: cfg, node: node, st: st}
+}
+
+// AddWorker binds an application process to the next hardware context.
+// pid/nprocs are the global process id and total process count the worker
+// sees.
+func (p *Processor) AddWorker(pid, nprocs int, body func(*Env)) {
+	if len(p.ctxs) >= p.cfg.Contexts {
+		panic(fmt.Sprintf("cpu: node %d already has %d contexts", p.node.ID(), p.cfg.Contexts))
+	}
+	c := &Context{idx: len(p.ctxs), p: p}
+	c.env = &Env{c: c, pid: pid, nprocs: nprocs}
+	c.co = sim.NewCoroutine(func() { body(c.env) })
+	p.ctxs = append(p.ctxs, c)
+}
+
+// Start schedules the processor to begin executing at time zero.
+func (p *Processor) Start() {
+	if len(p.ctxs) == 0 {
+		p.doneAt = 0
+		return
+	}
+	p.k.At(0, p.dispatch)
+}
+
+// Done reports whether every context has finished.
+func (p *Processor) Done() bool { return len(p.ctxs) == 0 || p.finished == len(p.ctxs) }
+
+// DoneAt returns the time the last context finished.
+func (p *Processor) DoneAt() sim.Time { return p.doneAt }
+
+// Stats returns the processor's statistics accumulator.
+func (p *Processor) Stats() *stats.Proc { return p.st }
+
+// Node returns the processor's memory-system node.
+func (p *Processor) Node() *memsys.Node { return p.node }
+
+// StateSummary describes context states (used in deadlock reports).
+func (p *Processor) StateSummary() string {
+	s := fmt.Sprintf("node %d:", p.node.ID())
+	names := [...]string{"ready", "running", "blocked", "done"}
+	for _, c := range p.ctxs {
+		s += fmt.Sprintf(" ctx%d(pid %d)=%s", c.idx, c.env.pid, names[c.state])
+		if c.state == ctxBlocked {
+			s += fmt.Sprintf("[%v]", c.cause)
+		}
+	}
+	return s
+}
+
+// account accrues d cycles to bucket b.
+func (p *Processor) account(b stats.Bucket, d sim.Time) {
+	if d > 0 {
+		p.st.Add(b, d)
+	}
+}
+
+// busy accrues useful cycles and extends the current run length.
+func (p *Processor) busy(d sim.Time) {
+	p.account(stats.Busy, d)
+	p.busyRun += d
+}
+
+// recordRun closes the current run length (called when a context blocks).
+func (p *Processor) recordRun() {
+	p.st.RecordRun(p.busyRun)
+	p.busyRun = 0
+}
+
+// single reports whether this is a single-context processor, which
+// attributes idle time to its cause rather than the multi-context buckets.
+func (p *Processor) single() bool { return len(p.ctxs) == 1 }
+
+// inlineStallBucket picks the bucket for a short stall that does not cause
+// a context switch.
+func (p *Processor) inlineStallBucket(cause stats.Bucket) stats.Bucket {
+	if p.single() {
+		return cause
+	}
+	return stats.NoSwitchIdle
+}
+
+// dispatch selects the next ready context, paying the switch penalty when
+// the processor must load a different context's state.
+func (p *Processor) dispatch() {
+	next := p.pickReady()
+	if next == nil {
+		if p.finished == len(p.ctxs) {
+			p.doneAt = p.k.Now()
+			return
+		}
+		p.idle = true
+		p.idleSince = p.k.Now()
+		return
+	}
+	if p.lastRun != nil && p.lastRun != next && p.cfg.SwitchPenalty > 0 {
+		p.st.Switches++
+		pen := sim.Time(p.cfg.SwitchPenalty)
+		p.account(stats.Switching, pen)
+		p.lastRun = next
+		p.k.After(pen, func() { p.exec(next) })
+		return
+	}
+	p.exec(next)
+}
+
+// pickReady round-robins over contexts starting after the last one run.
+func (p *Processor) pickReady() *Context {
+	n := len(p.ctxs)
+	start := 0
+	if p.lastRun != nil {
+		start = p.lastRun.idx + 1
+	}
+	for i := 0; i < n; i++ {
+		c := p.ctxs[(start+i)%n]
+		if c.state == ctxReady {
+			return c
+		}
+	}
+	return nil
+}
+
+// exec resumes a context's process: it runs native code until it submits
+// its next operation (or returns), then the operation is simulated.
+func (p *Processor) exec(c *Context) {
+	c.state = ctxRunning
+	p.lastRun = c
+	if !c.co.Resume() {
+		c.state = ctxDone
+		p.finished++
+		p.recordRun()
+		p.dispatch()
+		return
+	}
+	p.handleOp(c)
+}
+
+// blockOn marks the context blocked (a long-latency operation) and
+// schedules other work. The initiating call that will eventually wake the
+// context must be made AFTER blockOn so the wakeup finds it blocked.
+func (p *Processor) blockOn(c *Context, cause stats.Bucket) {
+	c.state = ctxBlocked
+	c.cause = cause
+	p.recordRun()
+	p.dispatch()
+}
+
+// wake makes a blocked context ready and restarts an idle processor,
+// attributing the idle gap (to the blocking cause on a single-context
+// processor, to all-idle time otherwise).
+func (p *Processor) wake(c *Context) {
+	if c.state != ctxBlocked {
+		panic(fmt.Sprintf("cpu: wake of context in state %d", c.state))
+	}
+	c.state = ctxReady
+	if p.idle {
+		p.idle = false
+		bucket := stats.AllIdle
+		if p.single() {
+			bucket = c.cause
+		}
+		p.account(bucket, p.k.Now()-p.idleSince)
+		p.dispatch()
+	}
+}
+
+// withPort runs fn once the primary-cache port is free, accounting lockout
+// stalls (prefetch fills count as prefetch overhead, other contexts' fills
+// as no-switch idle).
+func (p *Processor) withPort(c *Context, fn func()) {
+	until, pf, busy := p.node.PrimaryBusy(p.k.Now())
+	if !busy {
+		fn()
+		return
+	}
+	d := until - p.k.Now()
+	bucket := stats.NoSwitchIdle
+	if pf {
+		bucket = stats.PrefetchOverhead
+	} else if p.single() {
+		bucket = stats.ReadStall
+	}
+	p.account(bucket, d)
+	p.k.After(d, func() { p.withPort(c, fn) })
+}
+
+// handleOp simulates the operation the context just submitted.
+func (p *Processor) handleOp(c *Context) {
+	switch c.cur.kind {
+	case opCompute:
+		d := sim.Time(c.cur.cycles)
+		p.busy(d)
+		p.k.After(d, func() { p.exec(c) })
+	case opPFCompute:
+		// Extra instructions executed purely to decide/compute
+		// prefetches: accounted as prefetch overhead, not useful work.
+		d := sim.Time(c.cur.cycles)
+		p.account(stats.PrefetchOverhead, d)
+		p.k.After(d, func() { p.exec(c) })
+	case opSpin:
+		// A software spin-wait: the polling instructions are busy time
+		// (the paper counts PTHOR's task-queue spinning as busy), but
+		// on a multiple-context processor the loop contains an explicit
+		// switch hint (as on APRIL) so a spinning context cannot starve
+		// its siblings, which hold the work it is waiting for.
+		d := sim.Time(c.cur.cycles)
+		p.busy(d)
+		p.k.After(d, func() {
+			if p.single() {
+				p.exec(c)
+				return
+			}
+			c.state = ctxReady
+			p.dispatch()
+		})
+	case opRead:
+		p.st.SharedReads++
+		p.withPort(c, func() { p.doRead(c) })
+	case opWrite:
+		p.st.SharedWrites++
+		p.withPort(c, func() { p.doWrite(c) })
+	case opPrefetch:
+		p.doPrefetch(c)
+	case opLock:
+		p.doLock(c)
+	case opUnlock:
+		p.doUnlock(c)
+	case opBarrier:
+		p.doBarrier(c)
+	default:
+		panic("cpu: unknown operation")
+	}
+}
+
+func (p *Processor) doRead(c *Context) {
+	a := c.cur.addr
+	if p.cfg.Model.Buffered() && p.node.WBPendingLine(a) {
+		// A write to the same line is still buffered; the read cannot
+		// bypass it.
+		start := p.k.Now()
+		p.node.WBOnLineRetire(a, func() {
+			p.account(p.inlineStallBucket(stats.ReadStall), p.k.Now()-start)
+			p.doRead(c)
+		})
+		return
+	}
+	// Classify after the 1-cycle issue, at the same instant the access
+	// starts: an in-flight fill completing during the issue cycle can
+	// change the classification.
+	p.busy(1)
+	p.k.After(1, func() {
+		switch p.node.ClassifyRead(a) {
+		case memsys.ClassPrimary:
+			p.st.ReadPrimaryHit++
+			p.exec(c)
+		case memsys.ClassSecondary:
+			// Short fill from the secondary cache: stall without
+			// switching.
+			p.st.ReadSecHit++
+			start := p.k.Now()
+			p.node.Read(a, func() {
+				p.account(p.inlineStallBucket(stats.ReadStall), p.k.Now()-start)
+				p.exec(c)
+			})
+		case memsys.ClassMiss:
+			p.blockOn(c, stats.ReadStall)
+			p.node.Read(a, func() { p.wake(c) })
+		}
+	})
+}
+
+func (p *Processor) doWrite(c *Context) {
+	a := c.cur.addr
+	if p.cfg.CacheShared && p.node.ClassifyWrite(a) == memsys.ClassSecondary {
+		p.st.WriteHits++
+	} else if p.node.IsLocal(a) {
+		p.st.WriteLocal++
+	}
+	p.busy(1)
+	p.k.After(1, func() {
+		if p.cfg.Model == config.SC {
+			p.scWrite(c, a)
+			return
+		}
+		p.rcWrite(c, a)
+	})
+}
+
+// scWrite stalls the processor until the write retires (sequential
+// consistency). Secondary-owned hits stall 2 cycles without a context
+// switch; misses are long-latency.
+func (p *Processor) scWrite(c *Context, a mem.Addr) {
+	if p.cfg.CacheShared && p.node.ClassifyWrite(a) == memsys.ClassSecondary {
+		start := p.k.Now()
+		if !p.node.WBEnqueue(a, false, func() {
+			p.account(p.inlineStallBucket(stats.WriteStall), p.k.Now()-start)
+			p.exec(c)
+		}) {
+			panic("cpu: write buffer full under SC")
+		}
+		return
+	}
+	p.blockOn(c, stats.WriteStall)
+	if !p.node.WBEnqueue(a, false, func() { p.wake(c) }) {
+		panic("cpu: write buffer full under SC")
+	}
+}
+
+// rcWrite buffers the write and continues; it only stalls when the write
+// buffer is full.
+func (p *Processor) rcWrite(c *Context, a mem.Addr) {
+	if p.node.WBEnqueue(a, false, nil) {
+		p.exec(c)
+		return
+	}
+	p.blockOn(c, stats.WriteStall)
+	var try func()
+	try = func() {
+		if p.node.WBEnqueue(a, false, nil) {
+			p.wake(c)
+			return
+		}
+		p.node.WBOnSpace(try)
+	}
+	p.node.WBOnSpace(try)
+}
+
+func (p *Processor) doPrefetch(c *Context) {
+	a, excl := c.cur.addr, c.cur.excl
+	p.st.Prefetches++
+	// The prefetch instruction itself (plus implicit address
+	// computation) is overhead, not useful work.
+	d := sim.Time(p.cfg.PrefetchIssueCycles)
+	p.account(stats.PrefetchOverhead, d)
+	p.k.After(d, func() {
+		if p.node.PFEnqueue(a, excl) {
+			p.exec(c)
+			return
+		}
+		// Prefetch buffer full: the processor stalls (overhead) until
+		// a slot frees.
+		start := p.k.Now()
+		var try func()
+		try = func() {
+			if p.node.PFEnqueue(a, excl) {
+				p.account(stats.PrefetchOverhead, p.k.Now()-start)
+				p.exec(c)
+				return
+			}
+			p.node.PFOnSpace(try)
+		}
+		p.node.PFOnSpace(try)
+	})
+}
+
+func (p *Processor) doLock(c *Context) {
+	lk := c.cur.lock
+	p.st.Locks++
+	p.busy(1)
+	p.k.After(1, func() {
+		p.blockOn(c, stats.SyncStall)
+		if p.cfg.Model == config.WC {
+			// Weak consistency: a synchronization access is a full
+			// fence — all previous accesses (and their invalidations)
+			// complete before it issues.
+			p.node.WBOnDrained(func() {
+				lk.Acquire(p.node, func() { p.wake(c) })
+			})
+			return
+		}
+		lk.Acquire(p.node, func() { p.wake(c) })
+	})
+}
+
+func (p *Processor) doUnlock(c *Context) {
+	lk := c.cur.lock
+	p.busy(1)
+	p.k.After(1, func() {
+		if p.cfg.Model == config.RC || p.cfg.Model == config.PC {
+			// RC: the unlock store is a release — it retires from the
+			// write buffer only after all previous writes complete and
+			// their invalidations are acknowledged. PC: it simply
+			// performs in program order behind the buffered writes.
+			// Either way the processor continues immediately.
+			if p.node.WBEnqueue(lk.Addr(), true, lk.ReleaseRetired) {
+				p.exec(c)
+				return
+			}
+			p.blockOn(c, stats.SyncStall)
+			var try func()
+			try = func() {
+				if p.node.WBEnqueue(lk.Addr(), true, lk.ReleaseRetired) {
+					p.wake(c)
+					return
+				}
+				p.node.WBOnSpace(try)
+			}
+			p.node.WBOnSpace(try)
+			return
+		}
+		if p.cfg.Model == config.WC {
+			// Weak consistency: the unlock is a synchronization access —
+			// wait for everything before it, then stall until it
+			// completes.
+			p.blockOn(c, stats.SyncStall)
+			p.node.WBOnDrained(func() {
+				if !p.node.WBEnqueue(lk.Addr(), true, func() {
+					lk.ReleaseRetired()
+					p.wake(c)
+				}) {
+					panic("cpu: write buffer full after drain fence")
+				}
+			})
+			return
+		}
+		// SC: stall until the unlock store retires. A secondary-owned
+		// unlock with nothing outstanding is a short no-switch stall.
+		short := p.cfg.CacheShared && p.node.WBEmpty() && p.node.PendingAcks() == 0 &&
+			p.node.ClassifyWrite(lk.Addr()) == memsys.ClassSecondary
+		if short {
+			start := p.k.Now()
+			if !p.node.WBEnqueue(lk.Addr(), true, func() {
+				lk.ReleaseRetired()
+				p.account(p.inlineStallBucket(stats.SyncStall), p.k.Now()-start)
+				p.exec(c)
+			}) {
+				panic("cpu: write buffer full under SC")
+			}
+			return
+		}
+		p.blockOn(c, stats.SyncStall)
+		if !p.node.WBEnqueue(lk.Addr(), true, func() {
+			lk.ReleaseRetired()
+			p.wake(c)
+		}) {
+			panic("cpu: write buffer full under SC")
+		}
+	})
+}
+
+func (p *Processor) doBarrier(c *Context) {
+	b := c.cur.bar
+	p.st.Barriers++
+	p.busy(1)
+	p.k.After(1, func() {
+		p.blockOn(c, stats.SyncStall)
+		// The arrival increment is a release-marked write on the
+		// barrier counter: it waits for all previous writes and acks
+		// (the barrier's fence semantics) and serializes through the
+		// counter's home node.
+		var try func()
+		try = func() {
+			if p.node.WBEnqueue(b.CounterAddr(), true, func() {
+				b.ArriveRetired(p.node, func() { p.wake(c) })
+			}) {
+				return
+			}
+			p.node.WBOnSpace(try)
+		}
+		try()
+	})
+}

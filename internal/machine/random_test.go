@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"latsim/internal/config"
+	"latsim/internal/cpu"
+	"latsim/internal/mem"
+	"latsim/internal/msync"
+)
+
+// randomApp is a property-test workload: every process runs a seeded
+// random mix of reads, writes, computes, prefetches and critical sections
+// over a shared region, with barrier-separated phases. It exercises the
+// full machine under every technique combination.
+type randomApp struct {
+	seed   int64
+	phases int
+	ops    int
+
+	base  mem.Addr
+	locks []*msync.Lock
+	bar   *msync.Barrier
+}
+
+func (a *randomApp) Name() string { return "random" }
+
+func (a *randomApp) Setup(m *Machine) error {
+	a.base = m.Alloc(512 * mem.LineSize)
+	for i := 0; i < 4; i++ {
+		a.locks = append(a.locks, m.NewLock())
+	}
+	a.bar = m.NewBarrier(m.Config().TotalProcesses())
+	return nil
+}
+
+func (a *randomApp) Worker(e *cpu.Env, pid, nprocs int) {
+	rng := rand.New(rand.NewSource(a.seed + int64(pid)*7919))
+	for ph := 0; ph < a.phases; ph++ {
+		for op := 0; op < a.ops; op++ {
+			addr := a.base + mem.Addr(rng.Intn(512)*mem.LineSize)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				e.Read(addr)
+			case 4, 5:
+				e.Write(addr)
+			case 6:
+				e.Compute(rng.Intn(30) + 1)
+			case 7:
+				if rng.Intn(2) == 0 {
+					e.Prefetch(addr)
+				} else {
+					e.PrefetchExcl(addr)
+				}
+			case 8:
+				lk := a.locks[rng.Intn(len(a.locks))]
+				e.Lock(lk)
+				e.Read(addr)
+				e.Compute(5)
+				e.Write(addr)
+				e.Unlock(lk)
+			case 9:
+				e.SpinWait(rng.Intn(10) + 1)
+			}
+		}
+		e.Barrier(a.bar)
+	}
+}
+
+// TestRandomProgramsAcrossConfigMatrix runs random programs under every
+// technique combination and checks machine-level invariants: the run
+// completes, coherence invariants hold (checked inside Run), every
+// processor's buckets sum to its finish time, and the run is
+// deterministic.
+func TestRandomProgramsAcrossConfigMatrix(t *testing.T) {
+	type cfgMut struct {
+		name string
+		mut  func(*config.Config)
+	}
+	muts := []cfgMut{
+		{"SC", func(c *config.Config) {}},
+		{"RC", func(c *config.Config) { c.Model = config.RC }},
+		{"nocache", func(c *config.Config) { c.CacheShared = false }},
+		{"SC-2ctx", func(c *config.Config) { c.Contexts = 2 }},
+		{"RC-4ctx16", func(c *config.Config) { c.Model = config.RC; c.Contexts = 4; c.SwitchPenalty = 16 }},
+		{"RC-egrant", func(c *config.Config) { c.Model = config.RC; c.ExclusiveGrant = true }},
+		{"SC-tinybuf", func(c *config.Config) { c.WriteBufferDepth = 1; c.PrefetchBufferDepth = 1 }},
+		{"RC-fullcache", func(c *config.Config) { c.Model = config.RC; *c = c.FullCaches() }},
+		{"SC-mesh", func(c *config.Config) { c.MeshNetwork = true }},
+		{"PC-assoc", func(c *config.Config) { c.Model = config.PC; c.SecondaryWays = 2 }},
+		{"WC", func(c *config.Config) { c.Model = config.WC }},
+	}
+	for _, seed := range []int64{3, 17} {
+		for _, mc := range muts {
+			name := fmt.Sprintf("%s/seed%d", mc.name, seed)
+			t.Run(name, func(t *testing.T) {
+				run := func() *Result {
+					cfg := config.Default()
+					cfg.Procs = 4
+					cfg.MaxCycles = 50_000_000
+					mc.mut(&cfg)
+					if !cfg.CacheShared {
+						cfg.Prefetch = false
+					}
+					m, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					app := &randomApp{seed: seed, phases: 3, ops: 120}
+					res, err := m.Run(app)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, p := range m.Processors() {
+						if got, want := res.Procs[i].Total(), p.DoneAt(); got != want {
+							t.Errorf("proc %d: bucket sum %d != finish %d", i, got, want)
+						}
+					}
+					return res
+				}
+				r1 := run()
+				r2 := run()
+				if r1.Elapsed != r2.Elapsed || r1.Events != r2.Events {
+					t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)",
+						r1.Elapsed, r1.Events, r2.Elapsed, r2.Events)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package memsys
+
+import (
+	"fmt"
+
+	"latsim/internal/config"
+	"latsim/internal/mem"
+	"latsim/internal/sim"
+	"latsim/internal/stats"
+)
+
+// dirState is the directory state of a memory line at its home node.
+type dirState int
+
+const (
+	// DirUncached: no cache holds the line; memory is up to date.
+	DirUncached dirState = iota
+	// DirShared: one or more caches hold read-only copies.
+	DirShared
+	// DirDirty: exactly one cache holds an exclusive, dirty copy.
+	DirDirty
+)
+
+// dirEntry is the full-bit-vector directory entry for one line.
+type dirEntry struct {
+	state   dirState
+	sharers uint64 // bitmask of nodes with shared copies
+	owner   int    // owning node when state == DirDirty
+
+	// busy serializes ownership-transfer transactions on the line: while
+	// a forwarded request is in flight to the owner, later requests for
+	// the line queue in pending and are replayed when the owner's
+	// completion notice arrives (DASH's request-pending behaviour).
+	busy    bool
+	pending []func()
+}
+
+// mshrKind distinguishes what created an outstanding-miss register.
+type mshrKind int
+
+const (
+	mshrRead mshrKind = iota
+	mshrWrite
+	mshrPrefetch
+	mshrPrefetchExcl
+)
+
+// mshr tracks one outstanding transaction for a line (the lockup-free
+// cache's miss-status holding register). At most one transaction per line
+// per node is in flight; later demands merge as waiters and protocol
+// messages that arrive early queue until the fill completes.
+type mshr struct {
+	line        mem.Line
+	kind        mshrKind
+	excl        bool // completes with ownership (Dirty install)
+	started     sim.Time
+	waiters     []func()
+	queuedMsgs  []func()
+	invalidated bool // an invalidation arrived while in flight
+}
+
+// victimEntry is a dirty line evicted from the secondary cache whose
+// writeback has not yet been acknowledged by the home node. The data is
+// still available here, so forwarded requests can be serviced from it.
+type victimEntry struct {
+	waiters []func() // local accesses waiting for the writeback to clear
+}
+
+// Class is the pre-classification of an access, used by the processor to
+// decide between continuing, a short no-switch stall, a long stall, or a
+// context switch.
+type Class int
+
+const (
+	// ClassPrimary: read hit in the primary cache (1 cycle).
+	ClassPrimary Class = iota
+	// ClassSecondary: serviced by the secondary cache (short stall: a
+	// 13-cycle read fill or a 2-cycle owned write).
+	ClassSecondary
+	// ClassMiss: leaves the secondary cache (long latency; multiple-
+	// context processors switch).
+	ClassMiss
+)
+
+// Node is one processing node's complete memory system: caches, buffers,
+// the slice of the distributed directory it is home for, and its bus and
+// network-interface resources.
+type Node struct {
+	id    int
+	k     *sim.Kernel
+	cfg   *config.Config
+	alloc *mem.Allocator
+	st    *stats.Proc
+	nodes []*Node // all nodes in the machine, including self
+
+	prim *primaryCache
+	sec  *secondaryCache
+	dir  map[mem.Line]*dirEntry
+
+	mshrs   map[mem.Line]*mshr
+	victims map[mem.Line]*victimEntry
+
+	bus   *sim.Resource
+	memc  *sim.Resource // memory + directory controller
+	niIn  *sim.Resource
+	niOut *sim.Resource
+
+	pendingAcks int
+	ackWaiters  []func()
+
+	primBusyUntil sim.Time
+	primBusyPF    bool
+
+	wb   *writeBuffer
+	pf   *prefetchBuffer
+	mesh *Mesh // optional 2-D mesh interconnect (nil = direct network)
+}
+
+// NewNode constructs node id. Call Connect with the full node slice before
+// simulating.
+func NewNode(k *sim.Kernel, id int, cfg *config.Config, alloc *mem.Allocator, st *stats.Proc) *Node {
+	n := &Node{
+		id:      id,
+		k:       k,
+		cfg:     cfg,
+		alloc:   alloc,
+		st:      st,
+		prim:    newPrimaryCache(cfg.PrimaryBytes),
+		sec:     newSecondaryCache(cfg.SecondaryBytes, max(1, cfg.SecondaryWays)),
+		dir:     make(map[mem.Line]*dirEntry),
+		mshrs:   make(map[mem.Line]*mshr),
+		victims: make(map[mem.Line]*victimEntry),
+		bus:     sim.NewResource(k, fmt.Sprintf("bus%d", id)),
+		memc:    sim.NewResource(k, fmt.Sprintf("mem%d", id)),
+		niIn:    sim.NewResource(k, fmt.Sprintf("niIn%d", id)),
+		niOut:   sim.NewResource(k, fmt.Sprintf("niOut%d", id)),
+	}
+	n.wb = newWriteBuffer(n)
+	n.pf = newPrefetchBuffer(n)
+	return n
+}
+
+// Connect wires the node to the rest of the machine.
+func (n *Node) Connect(nodes []*Node) { n.nodes = nodes }
+
+// ID returns the node number.
+func (n *Node) ID() int { return n.id }
+
+// lat is shorthand for the latency parameters.
+func (n *Node) lat() *config.Latencies { return &n.cfg.Lat }
+
+// home returns the home node for an address.
+func (n *Node) home(a mem.Addr) *Node { return n.nodes[n.alloc.Home(a)] }
+
+// IsLocal reports whether this node is the home of a (the access can be
+// serviced without network traffic).
+func (n *Node) IsLocal(a mem.Addr) bool { return n.alloc.Home(a) == n.id }
+
+// entry returns (creating if needed) the directory entry for a line homed
+// at this node.
+func (n *Node) entry(l mem.Line) *dirEntry {
+	e, ok := n.dir[l]
+	if !ok {
+		e = &dirEntry{state: DirUncached}
+		n.dir[l] = e
+	}
+	return e
+}
+
+// send models a protocol message from node n to node to: NI-out occupancy,
+// wire latency, NI-in occupancy, then fn at delivery. Messages between a
+// node and itself take a short fixed local delay instead.
+func (n *Node) send(to *Node, wire int, fn func()) {
+	if to == n {
+		n.k.After(2, fn)
+		return
+	}
+	if n.mesh != nil {
+		n.niOut.Acquire(sim.Time(n.lat().NIHold), func() {
+			n.mesh.Route(n.id, to.id, func() {
+				to.niIn.Acquire(sim.Time(n.lat().NIHold), fn)
+			})
+		})
+		return
+	}
+	n.niOut.Acquire(sim.Time(n.lat().NIHold), func() {
+		n.k.After(sim.Time(wire), func() {
+			to.niIn.Acquire(sim.Time(n.lat().NIHold), fn)
+		})
+	})
+}
+
+// hopCycles is the no-contention cost of one full network hop.
+func (n *Node) hopCycles() int { return 2*n.lat().NIHold + n.lat().Wire }
+
+// ClassifyRead classifies a shared read to addr without changing state.
+func (n *Node) ClassifyRead(a mem.Addr) Class {
+	if !n.cfg.CacheShared {
+		return ClassMiss
+	}
+	l := mem.LineOf(a)
+	if n.prim.Present(l) {
+		return ClassPrimary
+	}
+	if n.sec.State(l) != Invalid {
+		return ClassSecondary
+	}
+	return ClassMiss
+}
+
+// ClassifyWrite classifies a shared write (for SC stall decisions).
+func (n *Node) ClassifyWrite(a mem.Addr) Class {
+	if !n.cfg.CacheShared {
+		return ClassMiss
+	}
+	if n.sec.State(mem.LineOf(a)) == Dirty {
+		return ClassSecondary
+	}
+	return ClassMiss
+}
+
+// PrimaryBusy reports whether the primary cache port is locked out by a
+// fill at time now, when it frees, and whether the fill was a prefetch
+// (for overhead attribution).
+func (n *Node) PrimaryBusy(now sim.Time) (until sim.Time, pf bool, busy bool) {
+	if now < n.primBusyUntil {
+		return n.primBusyUntil, n.primBusyPF, true
+	}
+	return 0, false, false
+}
+
+// lockPrimary records a primary-cache fill occupying the port until t.
+func (n *Node) lockPrimary(t sim.Time, pf bool) {
+	if t > n.primBusyUntil {
+		n.primBusyUntil = t
+		n.primBusyPF = pf
+	}
+}
+
+// PendingAcks returns the number of invalidation acknowledgements this
+// node is still waiting for.
+func (n *Node) PendingAcks() int { return n.pendingAcks }
+
+// onAllAcked runs fn once pendingAcks reaches zero (immediately if it
+// already is).
+func (n *Node) onAllAcked(fn func()) {
+	if n.pendingAcks == 0 {
+		fn()
+		return
+	}
+	n.ackWaiters = append(n.ackWaiters, fn)
+}
+
+func (n *Node) addAcks(count int) { n.pendingAcks += count }
+
+func (n *Node) ackArrived() {
+	if n.pendingAcks <= 0 {
+		panic("memsys: ack arrived with none pending")
+	}
+	n.pendingAcks--
+	if n.pendingAcks == 0 {
+		ws := n.ackWaiters
+		n.ackWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// CheckInvariants validates directory/cache consistency at a quiescent
+// point (no in-flight transactions): every cached copy must be sanctioned
+// by its home directory, and every dirty directory entry must have exactly
+// its owner caching the line in Dirty state. Returns an error describing
+// the first violation.
+func CheckInvariants(nodes []*Node) error {
+	for _, node := range nodes {
+		if len(node.mshrs) != 0 {
+			return fmt.Errorf("node %d has %d in-flight MSHRs at quiescence", node.id, len(node.mshrs))
+		}
+		if len(node.victims) != 0 {
+			return fmt.Errorf("node %d has %d unacknowledged writebacks at quiescence", node.id, len(node.victims))
+		}
+		if node.pendingAcks != 0 {
+			return fmt.Errorf("node %d has %d pending acks at quiescence", node.id, node.pendingAcks)
+		}
+	}
+	var err error
+	for _, node := range nodes {
+		node.sec.forEachValid(func(l mem.Line, st LineState) {
+			if err != nil {
+				return
+			}
+			home := nodes[node.alloc.Home(mem.AddrOf(l))]
+			e, ok := home.dir[l]
+			if !ok {
+				err = fmt.Errorf("node %d caches line %#x with no directory entry", node.id, l)
+				return
+			}
+			switch st {
+			case Shared:
+				if e.state == DirDirty {
+					err = fmt.Errorf("node %d has Shared copy of line %#x but directory says Dirty(owner %d)", node.id, l, e.owner)
+				} else if e.sharers&(1<<uint(node.id)) == 0 {
+					err = fmt.Errorf("node %d has Shared copy of line %#x but is not in sharer set", node.id, l)
+				}
+			case Dirty:
+				if e.state != DirDirty || e.owner != node.id {
+					err = fmt.Errorf("node %d has Dirty copy of line %#x but directory state=%d owner=%d", node.id, l, e.state, e.owner)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		// Inclusion: every primary line must be in the secondary.
+		for i, tag := range node.prim.sets {
+			if tag != 0 && node.sec.State(tag) == Invalid {
+				return fmt.Errorf("node %d primary set %d holds line %#x not in secondary (inclusion violated)", node.id, i, tag)
+			}
+		}
+	}
+	// Dirty directory entries must have exactly one Dirty cached copy.
+	for _, home := range nodes {
+		for l, e := range home.dir {
+			if e.state == DirDirty {
+				owner := nodes[e.owner]
+				if owner.sec.State(l) != Dirty {
+					return fmt.Errorf("directory at node %d says line %#x dirty at node %d, but that cache has state %v",
+						home.id, l, e.owner, owner.sec.State(l))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BusUtilization returns the node bus utilization (for reports).
+func (n *Node) BusUtilization() float64 { return n.bus.Utilization() }

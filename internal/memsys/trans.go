@@ -1,0 +1,489 @@
+package memsys
+
+import (
+	"fmt"
+
+	"latsim/internal/mem"
+	"latsim/internal/sim"
+)
+
+// This file implements the protocol transactions. Timing is composed from
+// the stage latencies in config.Latencies; with an idle machine the totals
+// reproduce Table 1 of the paper exactly (asserted by machine tests):
+//
+//	read  fill from secondary            14 = issue 1 + SecLookup 7 + FillPrim 6
+//	read  fill from local node           26 = 14 + Bus 4 + Mem 6 + FillSec 2
+//	read  fill from home (remote)        72 = 26 + 2 hops (2*(4+15+4))
+//	read  fill from dirty remote         90 = 72 + forward (4+3+4) + owner (4+3)
+//	write owned by secondary cache        2 = SecCheckWrite
+//	write owned by local node            18 = 2 + Bus 4 + Mem 6 + Grant 6
+//	write owned in home (remote)         64 = 18 + 2 hops
+//	write owned in dirty remote          82 = 64 + forward + owner
+//
+// Contention adds queueing at the bus, memory/directory controller and
+// network-interface resources along each path.
+
+// Read performs a demand read of shared data that missed the primary
+// cache; done runs when the read completes. The caller (the processor)
+// accounts the 1-cycle issue itself and must not call this for primary
+// hits.
+func (n *Node) Read(a mem.Addr, done func()) {
+	if !n.cfg.CacheShared {
+		n.uncachedRead(a, done)
+		return
+	}
+	l := mem.LineOf(a)
+	if n.prim.Present(l) {
+		panic("memsys: Read called for a primary-cache hit")
+	}
+	lat := n.lat()
+	if n.sec.State(l) != Invalid {
+		// Secondary hit: fill the primary.
+		n.k.After(sim.Time(lat.SecLookup), func() {
+			n.lockPrimary(n.k.Now()+sim.Time(lat.FillPrim), false)
+			n.k.After(sim.Time(lat.FillPrim), func() {
+				// The line may have been invalidated or evicted from
+				// the secondary while this fill was in flight; keep
+				// inclusion by skipping the primary install then.
+				if n.sec.State(l) != Invalid {
+					n.prim.Install(l)
+				}
+				done()
+			})
+		})
+		return
+	}
+	if v, ok := n.victims[l]; ok {
+		// The line is in the writeback buffer on its way out; wait for
+		// the home to acknowledge, then retry.
+		v.waiters = append(v.waiters, func() { n.Read(a, done) })
+		return
+	}
+	if m, ok := n.mshrs[l]; ok {
+		if m.kind == mshrPrefetch || m.kind == mshrPrefetchExcl {
+			n.st.PrefetchLate++
+		}
+		m.waiters = append(m.waiters, done)
+		return
+	}
+	n.st.ReadMisses++
+	m := &mshr{line: l, kind: mshrRead, started: n.k.Now()}
+	m.waiters = append(m.waiters, done)
+	n.mshrs[l] = m
+	n.k.After(sim.Time(lat.SecLookup), func() { n.issueRead(a, m) })
+}
+
+// AcquireOwnership obtains exclusive ownership of the line containing a
+// (the write path: retiring a write from the write buffer). done runs when
+// ownership is granted — the write's retirement point per Table 1, which
+// does not include invalidation acknowledgements.
+func (n *Node) AcquireOwnership(a mem.Addr, done func()) {
+	if !n.cfg.CacheShared {
+		n.uncachedWrite(a, done)
+		return
+	}
+	l := mem.LineOf(a)
+	lat := n.lat()
+	if n.sec.State(l) == Dirty {
+		n.st.WriteOwnedHit++
+		n.k.After(sim.Time(lat.SecCheckWrite), done)
+		return
+	}
+	if v, ok := n.victims[l]; ok {
+		v.waiters = append(v.waiters, func() { n.AcquireOwnership(a, done) })
+		return
+	}
+	if m, ok := n.mshrs[l]; ok {
+		if m.kind == mshrPrefetch || m.kind == mshrPrefetchExcl {
+			n.st.PrefetchLate++
+		}
+		// Wait for the in-flight fill, then reclassify: the fill may
+		// deliver ownership (write/pf-exclusive) or only a shared copy
+		// (then this becomes an upgrade).
+		m.waiters = append(m.waiters, func() { n.AcquireOwnership(a, done) })
+		return
+	}
+	n.st.WriteMisses++
+	m := &mshr{line: l, kind: mshrWrite, excl: true, started: n.k.Now()}
+	m.waiters = append(m.waiters, done)
+	n.mshrs[l] = m
+	n.k.After(sim.Time(lat.SecCheckWrite), func() { n.issueWrite(a, m) })
+}
+
+// issueRead takes a read miss onto the bus and to the home directory.
+func (n *Node) issueRead(a mem.Addr, m *mshr) {
+	lat := n.lat()
+	n.bus.Acquire(sim.Time(lat.BusHold), func() {
+		h := n.home(a)
+		if h == n {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirRead(a, n, m) })
+			return
+		}
+		n.send(h, lat.Wire, func() {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirRead(a, n, m) })
+		})
+	})
+}
+
+// issueWrite takes an ownership request onto the bus and to the home.
+func (n *Node) issueWrite(a mem.Addr, m *mshr) {
+	lat := n.lat()
+	n.bus.Acquire(sim.Time(lat.BusHold), func() {
+		h := n.home(a)
+		if h == n {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirWrite(a, n, m) })
+			return
+		}
+		n.send(h, lat.Wire, func() {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirWrite(a, n, m) })
+		})
+	})
+}
+
+// dirRead is the home directory's handling of a read request. Runs at the
+// home node when its memory/directory controller grants the request.
+func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
+	l := mem.LineOf(a)
+	e := h.entry(l)
+	if e.busy {
+		e.pending = append(e.pending, func() {
+			h.memc.Acquire(sim.Time(h.lat().MemHold), func() { h.dirRead(a, req, m) })
+		})
+		return
+	}
+	switch e.state {
+	case DirUncached:
+		if h.cfg.ExclusiveGrant {
+			// MESI-style exclusive grant (ablation, off by default —
+			// the paper's protocol returns a shared copy): nobody else
+			// caches the line, so the reply carries ownership and a
+			// subsequent write by the reader hits locally.
+			e.state = DirDirty
+			e.owner = req.id
+			e.sharers = 0
+			m.excl = true
+			h.reply(req, func() { req.finishFill(m) })
+			return
+		}
+		e.state = DirShared
+		e.sharers = 1 << uint(req.id)
+		h.reply(req, func() { req.finishFill(m) })
+	case DirShared:
+		e.sharers |= 1 << uint(req.id)
+		h.reply(req, func() { req.finishFill(m) })
+	case DirDirty:
+		if e.owner == req.id {
+			panic(fmt.Sprintf("memsys: node %d read-missed a line the directory says it owns (line %#x)", req.id, l))
+		}
+		owner := h.nodes[e.owner]
+		e.state = DirShared
+		e.sharers = 1<<uint(owner.id) | 1<<uint(req.id)
+		e.busy = true
+		h.send(owner, h.lat().WireForward, func() { owner.serveForward(l, req, m, false) })
+	}
+}
+
+// dirWrite is the home directory's handling of an ownership request.
+func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
+	l := mem.LineOf(a)
+	e := h.entry(l)
+	if e.busy {
+		e.pending = append(e.pending, func() {
+			h.memc.Acquire(sim.Time(h.lat().MemHold), func() { h.dirWrite(a, req, m) })
+		})
+		return
+	}
+	switch e.state {
+	case DirUncached:
+		e.state = DirDirty
+		e.owner = req.id
+		e.sharers = 0
+		h.reply(req, func() { req.finishFill(m) })
+	case DirShared:
+		// Invalidate every sharer except the requester; acks flow
+		// directly to the requester (DASH style).
+		count := 0
+		for id := range h.nodes {
+			if e.sharers&(1<<uint(id)) != 0 && id != req.id {
+				count++
+				sharer := h.nodes[id]
+				h.send(sharer, h.lat().Wire, func() { sharer.handleInval(l, req) })
+			}
+		}
+		e.state = DirDirty
+		e.owner = req.id
+		e.sharers = 0
+		req.addAcks(count)
+		h.reply(req, func() { req.finishFill(m) })
+	case DirDirty:
+		if e.owner == req.id {
+			panic(fmt.Sprintf("memsys: node %d write-missed a line the directory says it owns (line %#x)", req.id, l))
+		}
+		owner := h.nodes[e.owner]
+		e.owner = req.id
+		e.busy = true
+		h.send(owner, h.lat().WireForward, func() { owner.serveForward(l, req, m, true) })
+	}
+}
+
+// reply models the data/grant reply from home to requester.
+func (h *Node) reply(req *Node, fn func()) {
+	if h == req {
+		h.k.After(0, fn)
+		return
+	}
+	h.send(req, h.lat().Wire, fn)
+}
+
+// serveForward handles a request forwarded to this node as the recorded
+// owner of line l. For reads the owner downgrades to Shared; for writes it
+// relinquishes the line. Either way it replies directly to the requester
+// and sends a completion (sharing writeback / transfer notice) to the home
+// to clear the directory busy state.
+func (o *Node) serveForward(l mem.Line, req *Node, m *mshr, write bool) {
+	if om, ok := o.mshrs[l]; ok {
+		// Our own fill for the line is still in flight; the forward
+		// waits for it, exactly as a lockup-free cache queues external
+		// requests against an MSHR.
+		om.queuedMsgs = append(om.queuedMsgs, func() { o.serveForward(l, req, m, write) })
+		return
+	}
+	lat := o.lat()
+	o.bus.Acquire(sim.Time(lat.BusHold), func() {
+		o.k.After(sim.Time(lat.OwnerAccess), func() {
+			// Re-examine state at apply time: the line may have been
+			// evicted (moved to the writeback/victim buffer) while the
+			// forward waited for the bus.
+			if _, inVictim := o.victims[l]; inVictim {
+				// Serve the data from the victim buffer; the local copy
+				// is already gone.
+			} else if o.sec.State(l) == Dirty {
+				if write {
+					o.sec.Invalidate(l)
+					o.prim.Invalidate(l)
+				} else {
+					o.sec.SetState(l, Shared)
+				}
+			} else {
+				panic(fmt.Sprintf("memsys: forward for line %#x reached node %d which is not owner (state %v)", l, o.id, o.sec.State(l)))
+			}
+			o.send(req, lat.Wire, func() { req.finishFill(m) })
+			// Completion to home: carries the sharing writeback (read)
+			// or the ownership-transfer notice (write) and unblocks the
+			// directory entry.
+			home := o.home(mem.AddrOf(l))
+			o.send(home, lat.Wire, func() {
+				home.memc.Acquire(sim.Time(lat.MemHold), func() { home.dirUnbusy(l) })
+			})
+		})
+	})
+}
+
+// dirUnbusy clears the busy bit and reprocesses deferred requests.
+func (h *Node) dirUnbusy(l mem.Line) {
+	e := h.entry(l)
+	if !e.busy {
+		panic(fmt.Sprintf("memsys: dirUnbusy on non-busy line %#x", l))
+	}
+	e.busy = false
+	pend := e.pending
+	e.pending = nil
+	for _, f := range pend {
+		f()
+	}
+}
+
+// handleInval applies an invalidation at a sharer and acknowledges
+// directly to the requesting writer.
+func (n *Node) handleInval(l mem.Line, req *Node) {
+	lat := n.lat()
+	n.bus.Acquire(sim.Time(lat.InvalApply), func() {
+		if n.sec.State(l) == Dirty {
+			// Stale invalidation: it was sent while this node held a
+			// shared copy, but the node's own upgrade — serialized at
+			// the home *after* the invalidating write — completed while
+			// the invalidation waited for the bus. The dirty copy is
+			// the newer incarnation; acknowledge without invalidating.
+			n.send(req, lat.Wire, func() { req.ackArrived() })
+			return
+		}
+		if m, ok := n.mshrs[l]; ok && !m.excl {
+			// A shared-copy fill is in flight; it will install and be
+			// invalidated immediately, still satisfying its waiters.
+			m.invalidated = true
+		}
+		n.sec.Invalidate(l)
+		n.prim.Invalidate(l)
+		n.send(req, lat.Wire, func() { req.ackArrived() })
+	})
+}
+
+// finishFill runs at the requester when the data/grant reply arrives and
+// models the tail of the transaction (grant processing for writes, cache
+// fill for reads and prefetches) before completing the MSHR.
+func (n *Node) finishFill(m *mshr) {
+	lat := n.lat()
+	if m.kind == mshrWrite {
+		n.k.After(sim.Time(lat.WriteGrant), func() { n.completeFill(m) })
+		return
+	}
+	n.k.After(sim.Time(lat.FillSec), func() {
+		isPF := m.kind == mshrPrefetch || m.kind == mshrPrefetchExcl
+		n.lockPrimary(n.k.Now()+sim.Time(lat.FillPrim), isPF)
+		n.k.After(sim.Time(lat.FillPrim), func() { n.completeFill(m) })
+	})
+}
+
+// completeFill installs the line, resolves the MSHR, wakes demand waiters
+// and replays protocol messages that arrived during the miss.
+func (n *Node) completeFill(m *mshr) {
+	l := m.line
+	if vl, vstate, ok := n.sec.Victim(l); ok {
+		n.prim.Invalidate(vl)
+		if vstate == Dirty {
+			n.startWriteback(vl)
+		}
+		// Shared victims are dropped silently; the directory keeps a
+		// stale sharer bit and a later spurious invalidation is
+		// harmless (it is acknowledged regardless).
+	}
+	state := Shared
+	if m.excl {
+		state = Dirty
+	}
+	n.sec.Install(l, state)
+	if m.kind != mshrWrite {
+		n.prim.Install(l)
+	}
+	if m.invalidated {
+		n.sec.Invalidate(l)
+		n.prim.Invalidate(l)
+	}
+	if m.kind == mshrRead {
+		n.st.ReadMissCycles += n.k.Now() - m.started
+	}
+	delete(n.mshrs, l)
+	for _, w := range m.waiters {
+		w()
+	}
+	for _, f := range m.queuedMsgs {
+		f()
+	}
+}
+
+// startWriteback sends a dirty victim back to its home. The data stays in
+// the victim buffer (servicing any forwards) until the home acknowledges.
+func (n *Node) startWriteback(l mem.Line) {
+	if _, ok := n.victims[l]; ok {
+		panic(fmt.Sprintf("memsys: duplicate writeback for line %#x", l))
+	}
+	n.victims[l] = &victimEntry{}
+	lat := n.lat()
+	h := n.home(mem.AddrOf(l))
+	n.bus.Acquire(sim.Time(lat.BusHold), func() {
+		n.send(h, lat.Wire, func() {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirWriteback(l, n) })
+		})
+	})
+}
+
+// dirWriteback processes a dirty-victim writeback at the home.
+func (h *Node) dirWriteback(l mem.Line, from *Node) {
+	e := h.entry(l)
+	if e.busy {
+		e.pending = append(e.pending, func() {
+			h.memc.Acquire(sim.Time(h.lat().MemHold), func() { h.dirWriteback(l, from) })
+		})
+		return
+	}
+	if e.state == DirDirty && e.owner == from.id {
+		e.state = DirUncached
+		e.sharers = 0
+	} else {
+		// Stale writeback: the line was forwarded away before the
+		// writeback arrived. Drop the data; clear any stale sharer bit.
+		e.sharers &^= 1 << uint(from.id)
+		if e.state == DirShared && e.sharers == 0 {
+			e.state = DirUncached
+		}
+	}
+	h.send(from, h.lat().Wire, func() { from.writebackAcked(l) })
+}
+
+// writebackAcked clears the victim buffer entry and retries accesses that
+// were waiting for the line to finish leaving.
+func (n *Node) writebackAcked(l mem.Line) {
+	v, ok := n.victims[l]
+	if !ok {
+		panic(fmt.Sprintf("memsys: writeback ack for unknown line %#x", l))
+	}
+	delete(n.victims, l)
+	for _, w := range v.waiters {
+		w()
+	}
+}
+
+// uncachedRead services a shared read when shared data is not cacheable
+// (the Figure 2 baseline): straight to the home memory, no fill.
+func (n *Node) uncachedRead(a mem.Addr, done func()) {
+	n.st.ReadMisses++
+	lat := n.lat()
+	h := n.home(a)
+	started := n.k.Now()
+	finish := func() {
+		n.st.ReadMissCycles += n.k.Now() - started
+		done()
+	}
+	if h == n {
+		tail := clampNonNeg(lat.UncachedReadLocal - 1 - lat.BusHold - lat.MemHold)
+		n.bus.Acquire(sim.Time(lat.BusHold), func() {
+			n.memc.Acquire(sim.Time(lat.MemHold), func() {
+				n.k.After(sim.Time(tail), finish)
+			})
+		})
+		return
+	}
+	tail := clampNonNeg(lat.UncachedReadRemote - 1 - lat.BusHold - 2*n.hopCycles() - lat.MemHold)
+	n.bus.Acquire(sim.Time(lat.BusHold), func() {
+		n.send(h, lat.Wire, func() {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() {
+				h.send(n, lat.Wire, func() {
+					n.k.After(sim.Time(tail), finish)
+				})
+			})
+		})
+	})
+}
+
+// uncachedWrite retires a shared write to home memory without caching.
+func (n *Node) uncachedWrite(a mem.Addr, done func()) {
+	n.st.WriteMisses++
+	lat := n.lat()
+	h := n.home(a)
+	if h == n {
+		tail := clampNonNeg(lat.UncachedWriteLocal - lat.BusHold - lat.MemHold)
+		n.bus.Acquire(sim.Time(lat.BusHold), func() {
+			n.memc.Acquire(sim.Time(lat.MemHold), func() {
+				n.k.After(sim.Time(tail), done)
+			})
+		})
+		return
+	}
+	tail := clampNonNeg(lat.UncachedWriteRemote - lat.BusHold - n.hopCycles() - lat.MemHold - n.hopCycles())
+	n.bus.Acquire(sim.Time(lat.BusHold), func() {
+		n.send(h, lat.Wire, func() {
+			h.memc.Acquire(sim.Time(lat.MemHold), func() {
+				h.send(n, lat.Wire, func() {
+					n.k.After(sim.Time(tail), done)
+				})
+			})
+		})
+	})
+}
+
+func clampNonNeg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,266 @@
+package memsys
+
+import (
+	"latsim/internal/config"
+	"latsim/internal/mem"
+	"latsim/internal/sim"
+)
+
+// wbEntry is one write awaiting retirement from the write buffer. A write
+// retires when exclusive ownership of its line is acquired (Table 1).
+type wbEntry struct {
+	addr     mem.Addr
+	line     mem.Line
+	release  bool
+	issued   bool
+	onRetire []func()
+}
+
+// writeBuffer is the 16-entry processor write buffer. Entries occupy the
+// buffer from enqueue until their ownership transaction completes. Under
+// RC several writes may be in flight at once (pipelined through the
+// lockup-free secondary cache); a release waits at the head until all
+// previous writes have retired and all invalidation acks have arrived.
+type writeBuffer struct {
+	n            *Node
+	entries      []*wbEntry
+	inflight     int
+	releaseArmed bool // an onAllAcked callback for a blocked release is registered
+	spaceWaiters []func()
+	drainWaiters []func() // fences waiting for the buffer to empty
+}
+
+func newWriteBuffer(n *Node) *writeBuffer { return &writeBuffer{n: n} }
+
+// WBEnqueue adds a write to the buffer; the callback runs when the write
+// retires (ownership acquired). Non-release writes coalesce into an
+// existing entry for the same line. Returns false if the buffer is full —
+// the processor must stall and retry via WBOnSpace.
+func (n *Node) WBEnqueue(a mem.Addr, release bool, onRetire func()) bool {
+	return n.wb.enqueue(a, release, onRetire)
+}
+
+// WBOnSpace registers fn to run when a write-buffer slot frees.
+func (n *Node) WBOnSpace(fn func()) {
+	n.wb.spaceWaiters = append(n.wb.spaceWaiters, fn)
+}
+
+// WBPendingLine reports whether a write to the same line as a is still in
+// the write buffer; reads to that line must wait for it to retire.
+func (n *Node) WBPendingLine(a mem.Addr) bool {
+	l := mem.LineOf(a)
+	for _, e := range n.wb.entries {
+		if e.line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// WBOnLineRetire runs fn once no write to a's line remains in the buffer.
+func (n *Node) WBOnLineRetire(a mem.Addr, fn func()) {
+	l := mem.LineOf(a)
+	for _, e := range n.wb.entries {
+		if e.line == l {
+			e.onRetire = append(e.onRetire, func() { n.WBOnLineRetire(a, fn) })
+			return
+		}
+	}
+	fn()
+}
+
+// WBEmpty reports whether the write buffer has no entries at all.
+func (n *Node) WBEmpty() bool { return len(n.wb.entries) == 0 }
+
+// WBOnDrained runs fn once the write buffer is empty, nothing is in
+// flight, and all invalidation acknowledgements have arrived — a full
+// memory fence (weak consistency's synchronization condition).
+func (n *Node) WBOnDrained(fn func()) {
+	if len(n.wb.entries) == 0 && n.wb.inflight == 0 {
+		n.onAllAcked(fn)
+		return
+	}
+	n.wb.drainWaiters = append(n.wb.drainWaiters, fn)
+}
+
+func (w *writeBuffer) enqueue(a mem.Addr, release bool, onRetire func()) bool {
+	l := mem.LineOf(a)
+	if !release {
+		for _, e := range w.entries {
+			if e.line == l && !e.release {
+				if onRetire != nil {
+					e.onRetire = append(e.onRetire, onRetire)
+				}
+				return true
+			}
+		}
+	}
+	if len(w.entries) >= w.n.cfg.WriteBufferDepth {
+		return false
+	}
+	e := &wbEntry{addr: a, line: l, release: release}
+	if onRetire != nil {
+		e.onRetire = append(e.onRetire, onRetire)
+	}
+	w.entries = append(w.entries, e)
+	w.drain()
+	return true
+}
+
+// drain issues as many writes as the consistency model's pipelining
+// allows. Under PC writes perform strictly in program order (one
+// outstanding ownership request); under WC/RC they pipeline up to the
+// lockup-free cache's write MSHRs. Releases gate on being the oldest
+// entry with nothing in flight and — except under PC — no pending
+// invalidation acks.
+func (w *writeBuffer) drain() {
+	limit := w.n.cfg.MaxOutstandingWrites
+	if w.n.cfg.Model == config.PC {
+		limit = 1
+	}
+	for idx := 0; idx < len(w.entries); idx++ {
+		e := w.entries[idx]
+		if e.issued {
+			continue
+		}
+		if w.inflight >= limit {
+			return
+		}
+		if e.release {
+			if idx != 0 || w.inflight > 0 {
+				return // earlier writes must retire first
+			}
+			if w.n.cfg.Model != config.PC && w.n.pendingAcks > 0 {
+				if !w.releaseArmed {
+					w.releaseArmed = true
+					w.n.onAllAcked(func() {
+						w.releaseArmed = false
+						w.drain()
+					})
+				}
+				return
+			}
+		}
+		e.issued = true
+		w.inflight++
+		entry := e
+		w.n.AcquireOwnership(e.addr, func() { w.retire(entry) })
+	}
+}
+
+// retire removes a completed entry, notifies its writers, frees space and
+// continues draining.
+func (w *writeBuffer) retire(e *wbEntry) {
+	w.inflight--
+	for i, x := range w.entries {
+		if x == e {
+			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			break
+		}
+	}
+	for _, fn := range e.onRetire {
+		fn()
+	}
+	if len(w.spaceWaiters) > 0 {
+		fn := w.spaceWaiters[0]
+		w.spaceWaiters = w.spaceWaiters[1:]
+		fn()
+	}
+	if len(w.entries) == 0 && w.inflight == 0 && len(w.drainWaiters) > 0 {
+		ws := w.drainWaiters
+		w.drainWaiters = nil
+		for _, fn := range ws {
+			w.n.onAllAcked(fn)
+		}
+	}
+	w.drain()
+}
+
+// pfEntry is one software prefetch waiting in the prefetch buffer.
+type pfEntry struct {
+	addr mem.Addr
+	excl bool
+}
+
+// prefetchBuffer is the 16-entry prefetch buffer, separate from the write
+// buffer so prefetches are not delayed behind writes (Section 5.1). The
+// head entry checks the secondary cache; if the line is already present
+// (or a transaction for it is in flight) the prefetch is discarded,
+// otherwise it issues onto the bus like a normal request.
+type prefetchBuffer struct {
+	n            *Node
+	queue        []pfEntry
+	draining     bool
+	spaceWaiters []func()
+}
+
+func newPrefetchBuffer(n *Node) *prefetchBuffer { return &prefetchBuffer{n: n} }
+
+// PFEnqueue adds a prefetch request; returns false if the buffer is full
+// (the processor stalls — accounted as prefetch overhead). Without
+// coherent caches there is nowhere to prefetch into, so the request is
+// discarded.
+func (n *Node) PFEnqueue(a mem.Addr, excl bool) bool {
+	if !n.cfg.CacheShared {
+		n.st.PrefetchUseless++
+		return true
+	}
+	return n.pf.enqueue(a, excl)
+}
+
+// PFOnSpace registers fn to run when a prefetch-buffer slot frees.
+func (n *Node) PFOnSpace(fn func()) {
+	n.pf.spaceWaiters = append(n.pf.spaceWaiters, fn)
+}
+
+func (p *prefetchBuffer) enqueue(a mem.Addr, excl bool) bool {
+	if len(p.queue) >= p.n.cfg.PrefetchBufferDepth {
+		return false
+	}
+	p.queue = append(p.queue, pfEntry{addr: a, excl: excl})
+	if !p.draining {
+		p.draining = true
+		p.n.k.After(0, p.step)
+	}
+	return true
+}
+
+// step processes the head entry: a secondary-cache check, then either a
+// discard or a bus issue; the next entry follows after the check time.
+func (p *prefetchBuffer) step() {
+	if len(p.queue) == 0 {
+		p.draining = false
+		return
+	}
+	e := p.queue[0]
+	p.queue = p.queue[1:]
+	if len(p.spaceWaiters) > 0 {
+		fn := p.spaceWaiters[0]
+		p.spaceWaiters = p.spaceWaiters[1:]
+		fn()
+	}
+	n := p.n
+	n.k.After(sim.Time(n.lat().SecCheckWrite), func() {
+		l := mem.LineOf(e.addr)
+		st := n.sec.State(l)
+		_, inFlight := n.mshrs[l]
+		_, leaving := n.victims[l]
+		useless := inFlight || leaving || st == Dirty || (st == Shared && !e.excl)
+		if useless {
+			n.st.PrefetchUseless++
+		} else {
+			kind := mshrPrefetch
+			if e.excl {
+				kind = mshrPrefetchExcl
+			}
+			m := &mshr{line: l, kind: kind, excl: e.excl, started: n.k.Now()}
+			n.mshrs[l] = m
+			if e.excl {
+				n.issueWrite(e.addr, m)
+			} else {
+				n.issueRead(e.addr, m)
+			}
+		}
+		p.step()
+	})
+}

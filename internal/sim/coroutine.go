@@ -1,0 +1,73 @@
+package sim
+
+import "fmt"
+
+// Coroutine couples an application process (a goroutine running native Go
+// code) to the simulation kernel, Tango-style: exactly one of the kernel
+// and the process runs at any instant, so simulation remains deterministic.
+//
+// The kernel side calls Resume to hand control to the process; the process
+// runs native code until it needs the simulator (a memory reference, a
+// synchronization operation, consuming compute cycles) and calls Yield,
+// handing control back. Payload (which operation is requested) travels in
+// structures owned by the caller, not through the coroutine itself.
+type Coroutine struct {
+	resume   chan struct{}
+	yield    chan bool // true = yielded, false = body returned
+	body     func()
+	started  bool
+	finished bool
+	panicVal any
+}
+
+// NewCoroutine creates a coroutine for body. The body does not start
+// running until the first Resume.
+func NewCoroutine(body func()) *Coroutine {
+	return &Coroutine{
+		resume: make(chan struct{}),
+		yield:  make(chan bool),
+		body:   body,
+	}
+}
+
+// Resume transfers control to the process and blocks until it yields or
+// finishes. It reports whether the process is still alive (i.e. yielded
+// rather than returned). A panic inside the process body is re-raised
+// here, on the kernel's goroutine.
+func (c *Coroutine) Resume() (alive bool) {
+	if c.finished {
+		panic("sim: Resume on finished coroutine")
+	}
+	if !c.started {
+		c.started = true
+		go func() {
+			<-c.resume
+			defer func() {
+				if r := recover(); r != nil {
+					c.panicVal = r
+				}
+				c.yield <- false
+			}()
+			c.body()
+		}()
+	}
+	c.resume <- struct{}{}
+	alive = <-c.yield
+	if !alive {
+		c.finished = true
+		if c.panicVal != nil {
+			panic(fmt.Sprintf("sim: process panicked: %v", c.panicVal))
+		}
+	}
+	return alive
+}
+
+// Yield transfers control back to the kernel and blocks until the next
+// Resume. Must only be called from inside the coroutine body.
+func (c *Coroutine) Yield() {
+	c.yield <- true
+	<-c.resume
+}
+
+// Finished reports whether the body has returned.
+func (c *Coroutine) Finished() bool { return c.finished }

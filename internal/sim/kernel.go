@@ -1,0 +1,119 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underlies the architecture simulator. All timing in the machine is
+// expressed in processor clock cycles (pclocks, 1 pclock = 30 ns on the
+// 33 MHz DASH prototype the paper models).
+//
+// The kernel is strictly single-threaded: events fire in (time, sequence)
+// order, so two events scheduled for the same cycle fire in the order they
+// were scheduled. This gives bit-identical results across runs, which the
+// reproduction relies on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in processor clock cycles.
+type Time uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	events uint64 // total events fired, for diagnostics
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the total number of events fired so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Pending returns the number of events still scheduled.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a modeling bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay Time, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// Step fires the next event, advancing the clock to its timestamp.
+// It reports whether an event was fired.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	k.events++
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or stop returns true. stop may
+// be nil, meaning run to exhaustion. It returns the number of events fired.
+func (k *Kernel) Run(stop func() bool) uint64 {
+	var n uint64
+	for (stop == nil || !stop()) && k.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with timestamps <= deadline.
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.queue) > 0 && k.queue[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 10, 0, 99} {
+		d := d
+		k.At(d, func() { got = append(got, d) })
+	}
+	k.Run(nil)
+	want := []Time{0, 10, 10, 30, 50, 99}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %d, want %d", i, got[i], want[i])
+		}
+	}
+	if k.Now() != 99 {
+		t.Errorf("Now() = %d, want 99", k.Now())
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run(nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var trace []Time
+	k.At(10, func() {
+		trace = append(trace, k.Now())
+		k.After(5, func() { trace = append(trace, k.Now()) })
+		k.After(0, func() { trace = append(trace, k.Now()) })
+	})
+	k.Run(nil)
+	want := []Time{10, 10, 15}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run(nil)
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for _, d := range []Time{1, 2, 3, 10, 20} {
+		k.At(d, func() { fired++ })
+	}
+	k.RunUntil(5)
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+	if k.Now() != 5 {
+		t.Errorf("Now() = %d, want 5", k.Now())
+	}
+	k.Run(nil)
+	if fired != 5 {
+		t.Errorf("fired = %d, want 5", fired)
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := Time(0); i < 100; i++ {
+		k.At(i, func() { fired++ })
+	}
+	k.Run(func() bool { return fired >= 10 })
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+}
+
+// Property: for any random schedule, events fire in nondecreasing time
+// order and all events fire exactly once.
+func TestKernelOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		count := int(n)%64 + 1
+		fired := 0
+		var last Time
+		ok := true
+		for i := 0; i < count; i++ {
+			d := Time(rng.Intn(1000))
+			k.At(d, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+				fired++
+			})
+		}
+		k.Run(nil)
+		return ok && fired == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceSerializesOverlappingRequests(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var ends []Time
+	k.At(0, func() {
+		r.Acquire(10, func() { ends = append(ends, k.Now()) })
+		r.Acquire(10, func() { ends = append(ends, k.Now()) })
+		r.Acquire(5, func() { ends = append(ends, k.Now()) })
+	})
+	k.Run(nil)
+	want := []Time{10, 20, 25}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.WaitCycles() != 10+20 {
+		t.Errorf("WaitCycles = %d, want 30", r.WaitCycles())
+	}
+	if r.BusyCycles() != 25 {
+		t.Errorf("BusyCycles = %d, want 25", r.BusyCycles())
+	}
+}
+
+func TestResourceIdleGapThenAcquire(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var end Time
+	k.At(0, func() { r.Acquire(5, nil) })
+	k.At(100, func() {
+		end = r.Acquire(5, nil)
+	})
+	k.Run(nil)
+	if end != 105 {
+		t.Errorf("second acquire completed at %d, want 105", end)
+	}
+	if r.WaitCycles() != 0 {
+		t.Errorf("WaitCycles = %d, want 0", r.WaitCycles())
+	}
+}
+
+func TestResourceAcquireAt(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "ni")
+	var done []Time
+	k.At(0, func() {
+		// Request arrives at t=20 in the pipeline; resource free: start 20.
+		r.AcquireAt(20, 4, func() { done = append(done, k.Now()) })
+		// Second request arrives at t=10 but queues behind first (FIFO).
+		r.AcquireAt(10, 4, func() { done = append(done, k.Now()) })
+	})
+	k.Run(nil)
+	if done[0] != 24 || done[1] != 28 {
+		t.Errorf("done = %v, want [24 28]", done)
+	}
+}
+
+func TestCoroutineHandoff(t *testing.T) {
+	var trace []string
+	var co *Coroutine
+	co = NewCoroutine(func() {
+		trace = append(trace, "a")
+		co.Yield()
+		trace = append(trace, "b")
+		co.Yield()
+		trace = append(trace, "c")
+	})
+	for i := 0; i < 3; i++ {
+		alive := co.Resume()
+		trace = append(trace, "k")
+		if i < 2 && !alive {
+			t.Fatal("coroutine finished early")
+		}
+		if i == 2 && alive {
+			t.Fatal("coroutine still alive after body returned")
+		}
+	}
+	want := []string{"a", "k", "b", "k", "c", "k"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if !co.Finished() {
+		t.Error("Finished() = false after completion")
+	}
+}
+
+func TestCoroutinePanicPropagates(t *testing.T) {
+	co := NewCoroutine(func() { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in body did not propagate to Resume")
+		}
+	}()
+	co.Resume()
+}
+
+func TestCoroutineInterleavingDeterministic(t *testing.T) {
+	// Two coroutines resumed alternately must interleave identically
+	// every run.
+	run := func() []int {
+		var out []int
+		var a, b *Coroutine
+		a = NewCoroutine(func() {
+			for i := 0; i < 5; i++ {
+				out = append(out, i*2)
+				a.Yield()
+			}
+		})
+		b = NewCoroutine(func() {
+			for i := 0; i < 5; i++ {
+				out = append(out, i*2+1)
+				b.Yield()
+			}
+		})
+		for i := 0; i < 5; i++ {
+			a.Resume()
+			b.Resume()
+		}
+		// Drain: final Resume lets the bodies return.
+		a.Resume()
+		b.Resume()
+		return out
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}

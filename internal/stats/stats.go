@@ -1,0 +1,208 @@
+// Package stats accumulates per-processor execution-time breakdowns and
+// event counts. The buckets mirror the sections of the stacked bars in the
+// paper's figures: busy, read stall, write stall, synchronization stall,
+// prefetch overhead (Figure 4), and — for multiple-context processors —
+// switching, no-switch idle, and all-idle time (Figures 5 and 6).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"latsim/internal/sim"
+)
+
+// Bucket identifies one component of execution time. A processor is in
+// exactly one bucket at every cycle, so the buckets sum to elapsed time.
+type Bucket int
+
+const (
+	// Busy is useful instruction execution, including the issue cycle of
+	// loads and stores and (per the paper's PTHOR note) software spinning
+	// on application data structures such as task queues.
+	Busy Bucket = iota
+	// PrefetchOverhead covers extra instructions executed to issue
+	// prefetches, stalls on a full prefetch buffer, and stalls while the
+	// primary cache is busy with a prefetch fill.
+	PrefetchOverhead
+	// ReadStall is processor idle time waiting for read completion.
+	ReadStall
+	// WriteStall is idle time waiting for writes to complete (SC write
+	// stalls, write-buffer-full stalls under RC).
+	WriteStall
+	// SyncStall is idle time in lock acquires/releases and barriers.
+	SyncStall
+	// Switching is context-switch overhead cycles (multiple contexts).
+	Switching
+	// NoSwitchIdle is idle time where the running context stalls but is
+	// not switched out: short secondary-cache fills, SC secondary-owned
+	// write hits, and primary-cache lockout during fills of other
+	// contexts.
+	NoSwitchIdle
+	// AllIdle is time when every hardware context is blocked.
+	AllIdle
+
+	NumBuckets
+)
+
+var bucketNames = [NumBuckets]string{
+	"busy", "pf_overhead", "read", "write", "sync",
+	"switching", "no_switch", "all_idle",
+}
+
+// String returns the short bucket name used in reports.
+func (b Bucket) String() string {
+	if b < 0 || b >= NumBuckets {
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+	return bucketNames[b]
+}
+
+// maxRunLength bounds the run-length histogram; longer runs land in the
+// final bucket.
+const maxRunLength = 4096
+
+// Proc accumulates statistics for one processor.
+type Proc struct {
+	Time [NumBuckets]sim.Time
+
+	// Reference counts (shared data only, like the paper). The hit
+	// fields count program references classified at issue time; the
+	// miss fields count protocol transactions (including those issued
+	// by synchronization and prefetches).
+	SharedReads     uint64
+	SharedWrites    uint64
+	ReadPrimaryHit  uint64
+	ReadSecHit      uint64
+	WriteHits       uint64 // program writes that found the line owned
+	WriteLocal      uint64 // program write misses whose home is the local node
+	ReadMisses      uint64 // read transactions that left the secondary cache
+	WriteOwnedHit   uint64 // ownership requests satisfied by the secondary
+	WriteMisses     uint64 // ownership transactions sent to a directory
+	Prefetches      uint64 // issued by the program
+	PrefetchUseless uint64 // discarded: line already present / in flight
+	PrefetchLate    uint64 // demand reference merged with in-flight prefetch
+	Locks           uint64
+	Barriers        uint64
+	Switches        uint64
+
+	// Latency accounting for average-miss-latency reports.
+	ReadMissCycles sim.Time
+
+	runHist [maxRunLength + 1]uint32
+	runs    uint64
+}
+
+// Add accrues d cycles to bucket b.
+func (p *Proc) Add(b Bucket, d sim.Time) {
+	p.Time[b] += d
+}
+
+// Total returns the sum of all buckets (== elapsed processor time).
+func (p *Proc) Total() sim.Time {
+	var t sim.Time
+	for _, v := range p.Time {
+		t += v
+	}
+	return t
+}
+
+// RecordRun records a run length: busy cycles executed between successive
+// long-latency operations. The paper reports median run lengths per
+// application (e.g. 11 cycles for MP3D under SC, 22 under RC).
+func (p *Proc) RecordRun(length sim.Time) {
+	if length > maxRunLength {
+		length = maxRunLength
+	}
+	p.runHist[length]++
+	p.runs++
+}
+
+// MeanRunLength returns the arithmetic mean of recorded run lengths.
+func (p *Proc) MeanRunLength() float64 {
+	if p.runs == 0 {
+		return 0
+	}
+	var sum uint64
+	for l, c := range p.runHist {
+		sum += uint64(l) * uint64(c)
+	}
+	return float64(sum) / float64(p.runs)
+}
+
+// MedianRunLength returns the median recorded run length, or 0 if no runs
+// were recorded.
+func (p *Proc) MedianRunLength() sim.Time {
+	if p.runs == 0 {
+		return 0
+	}
+	var seen uint64
+	half := (p.runs + 1) / 2
+	for l, c := range p.runHist {
+		seen += uint64(c)
+		if seen >= half {
+			return sim.Time(l)
+		}
+	}
+	return maxRunLength
+}
+
+// Breakdown is an aggregated execution-time decomposition for a whole run.
+type Breakdown struct {
+	Time    [NumBuckets]sim.Time
+	Elapsed sim.Time // wall-clock simulated cycles of the run
+	Procs   int
+}
+
+// Aggregate sums per-processor stats into a machine-level breakdown.
+// Each processor's timeline spans the whole run, so buckets are averaged
+// per processor to keep Total == Elapsed.
+func Aggregate(procs []*Proc, elapsed sim.Time) Breakdown {
+	b := Breakdown{Elapsed: elapsed, Procs: len(procs)}
+	for _, p := range procs {
+		for i, v := range p.Time {
+			b.Time[i] += v
+		}
+	}
+	if len(procs) > 0 {
+		for i := range b.Time {
+			b.Time[i] /= sim.Time(len(procs))
+		}
+	}
+	return b
+}
+
+// Total returns the sum over buckets of the averaged breakdown.
+func (b Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b.Time {
+		t += v
+	}
+	return t
+}
+
+// Normalized returns each bucket as a percentage of base (typically the
+// total of a baseline run), matching the paper's normalized execution
+// times.
+func (b Breakdown) Normalized(base sim.Time) [NumBuckets]float64 {
+	var out [NumBuckets]float64
+	if base == 0 {
+		return out
+	}
+	for i, v := range b.Time {
+		out[i] = 100 * float64(v) / float64(base)
+	}
+	return out
+}
+
+// String renders the breakdown as a one-line summary.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%d", b.Total())
+	for i := Bucket(0); i < NumBuckets; i++ {
+		if b.Time[i] > 0 {
+			fmt.Fprintf(&sb, " %s=%d", i, b.Time[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"latsim/internal/sim"
+)
+
+func TestBucketsSumToTotal(t *testing.T) {
+	var p Proc
+	p.Add(Busy, 100)
+	p.Add(ReadStall, 40)
+	p.Add(SyncStall, 10)
+	if p.Total() != 150 {
+		t.Errorf("Total = %d, want 150", p.Total())
+	}
+}
+
+func TestAggregateAverages(t *testing.T) {
+	a := &Proc{}
+	a.Add(Busy, 100)
+	b := &Proc{}
+	b.Add(Busy, 50)
+	b.Add(ReadStall, 50)
+	agg := Aggregate([]*Proc{a, b}, 100)
+	if agg.Time[Busy] != 75 {
+		t.Errorf("aggregated busy = %d, want 75", agg.Time[Busy])
+	}
+	if agg.Time[ReadStall] != 25 {
+		t.Errorf("aggregated read = %d, want 25", agg.Time[ReadStall])
+	}
+	if agg.Total() != 100 {
+		t.Errorf("aggregated total = %d, want 100", agg.Total())
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	var b Breakdown
+	b.Time[Busy] = 30
+	b.Time[ReadStall] = 70
+	n := b.Normalized(200)
+	if n[Busy] != 15 || n[ReadStall] != 35 {
+		t.Errorf("normalized = %v", n)
+	}
+	zero := b.Normalized(0)
+	if zero[Busy] != 0 {
+		t.Error("normalizing by zero base should give zeros")
+	}
+}
+
+func TestMedianRunLength(t *testing.T) {
+	var p Proc
+	for _, l := range []sim.Time{5, 5, 11, 20, 100} {
+		p.RecordRun(l)
+	}
+	if got := p.MedianRunLength(); got != 11 {
+		t.Errorf("median = %d, want 11", got)
+	}
+	var empty Proc
+	if empty.MedianRunLength() != 0 {
+		t.Error("median of no runs should be 0")
+	}
+}
+
+func TestMedianOverflowBucket(t *testing.T) {
+	var p Proc
+	p.RecordRun(maxRunLength + 1000)
+	if p.MedianRunLength() != maxRunLength {
+		t.Errorf("overflow run median = %d, want %d", p.MedianRunLength(), sim.Time(maxRunLength))
+	}
+}
+
+func TestBucketNames(t *testing.T) {
+	seen := map[string]bool{}
+	for b := Bucket(0); b < NumBuckets; b++ {
+		s := b.String()
+		if s == "" || seen[s] {
+			t.Errorf("bucket %d has bad or duplicate name %q", b, s)
+		}
+		seen[s] = true
+	}
+	if Bucket(99).String() != "bucket(99)" {
+		t.Error("out-of-range bucket name wrong")
+	}
+}
+
+// Property: the median is always between min and max recorded lengths.
+func TestMedianBoundsProperty(t *testing.T) {
+	f := func(lens []uint16) bool {
+		if len(lens) == 0 {
+			return true
+		}
+		var p Proc
+		minL, maxL := sim.Time(maxRunLength+1), sim.Time(0)
+		for _, l := range lens {
+			v := sim.Time(l % maxRunLength)
+			p.RecordRun(v)
+			if v < minL {
+				minL = v
+			}
+			if v > maxL {
+				maxL = v
+			}
+		}
+		m := p.MedianRunLength()
+		return m >= minL && m <= maxL
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
