@@ -1,6 +1,9 @@
 package latsim_test
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"testing"
 
 	"latsim"
@@ -89,5 +92,77 @@ func TestPublicAPIBucketsAndConstants(t *testing.T) {
 			t.Errorf("duplicate bucket name %s", b)
 		}
 		seen[b.String()] = true
+	}
+}
+
+// TestPublicAPIRunAll covers the batch entry point: parallel execution,
+// dedup of identical configurations, agreement with sequential Run, and
+// the persistent cache through BatchOptions.
+func TestPublicAPIRunAll(t *testing.T) {
+	base := latsim.DefaultConfig()
+	base.Procs = 2
+	rc := base
+	rc.Model = latsim.RC
+	cfgs := []latsim.Config{base, rc, base} // third dedups onto the first
+
+	newApp := func() latsim.App { return &pingpong{} }
+	res, err := latsim.RunAllContext(context.Background(), cfgs, newApp,
+		latsim.BatchOptions{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	if res[0] != res[2] {
+		t.Error("identical configs did not dedup onto one result")
+	}
+	if res[0] == res[1] {
+		t.Error("distinct configs shared a result")
+	}
+	seq, err := latsim.Run(base, &pingpong{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Elapsed != seq.Elapsed {
+		t.Errorf("batch run diverged from sequential: %d != %d cycles",
+			res[0].Elapsed, seq.Elapsed)
+	}
+
+	// Cache requires a workload identity.
+	if _, err := latsim.RunAllContext(context.Background(), cfgs, newApp,
+		latsim.BatchOptions{CacheDir: t.TempDir()}); err == nil {
+		t.Error("CacheDir without AppID must be rejected")
+	}
+
+	// Warm-cache pass: nothing re-simulates, results match byte for byte.
+	dir := t.TempDir()
+	opts := latsim.BatchOptions{Jobs: 2, CacheDir: dir, AppID: "pingpong-v1"}
+	cold, err := latsim.RunAllContext(context.Background(), cfgs, newApp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := latsim.RunAllContext(context.Background(), cfgs, newApp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		a, _ := json.Marshal(cold[i])
+		b, _ := json.Marshal(warm[i])
+		if string(a) != string(b) {
+			t.Errorf("config %d: warm cache result differs from cold", i)
+		}
+	}
+}
+
+// TestPublicAPIRunContextCancel checks that a canceled context aborts a
+// simulation instead of running unbounded.
+func TestPublicAPIRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := latsim.DefaultConfig()
+	cfg.Procs = 2
+	if _, err := latsim.RunContext(ctx, cfg, &pingpong{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

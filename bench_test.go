@@ -12,6 +12,7 @@
 package latsim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"latsim/internal/core"
@@ -286,5 +287,83 @@ func BenchmarkAblationMeshTopology(b *testing.B) {
 		if _, err := s.MeshAblation(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// regenFigures rebuilds Figures 2-6 through one session (the runner
+// parallelizes the underlying jobs and dedups shared baselines).
+func regenFigures(b *testing.B, s *core.Session) {
+	b.Helper()
+	for _, fn := range []func() (*core.Figure, error){
+		s.Figure2, s.Figure3, s.Figure4, s.Figure5, s.Figure6,
+	} {
+		if _, err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSequential regenerates fig2-fig6 with a single worker
+// (the pre-runner behavior: strictly sequential simulation).
+func BenchmarkRunnerSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSession()
+		s.Jobs = 1
+		regenFigures(b, s)
+		s.Close()
+	}
+}
+
+// BenchmarkRunnerParallel is the same regeneration with a full worker
+// pool; compare ns/op against BenchmarkRunnerSequential on a multi-core
+// host to see the engine's wall-clock win.
+func BenchmarkRunnerParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		s := newSession()
+		s.Jobs = workers
+		regenFigures(b, s)
+		s.Close()
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkRunnerCacheCold measures Figure 3 regeneration into a fresh
+// persistent cache (simulate + serialize).
+func BenchmarkRunnerCacheCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		s := newSession()
+		s.CacheDir = dir
+		if _, err := s.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkRunnerCacheWarm measures Figure 3 regeneration from a warm
+// cache: every job is a disk hit, so this is pure load+assembly time.
+func BenchmarkRunnerCacheWarm(b *testing.B) {
+	dir := b.TempDir()
+	seed := newSession()
+	seed.CacheDir = dir
+	if _, err := seed.Figure3(); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newSession()
+		s.CacheDir = dir
+		if _, err := s.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+		if m := s.Metrics(); m.Executed != 0 {
+			b.Fatalf("warm run re-simulated %d jobs", m.Executed)
+		}
+		s.Close()
 	}
 }

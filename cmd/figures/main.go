@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	figures [-scale small|paper] [-exp all|table1|table2|fig2|fig3|fig4|fig5|fig6|hitrates|summary|fullcache|ablations]
+//	figures [-scale small|paper] [-exp id[,id...]] [-jobs N]
+//	        [-cache-dir DIR] [-timeout D]
 //
+// -exp takes one or more comma-separated experiment ids (or "all").
+// Independent simulations run in parallel on -jobs workers; -cache-dir
+// persists results on disk so a re-run only simulates what changed.
 // -scale paper uses the paper's exact data sets (slower); the default
 // small scale keeps the workload structure at reduced size.
 package main
@@ -13,16 +17,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"latsim/internal/core"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
-	expFlag := flag.String("exp", "all", "experiment id (all, table1, table2, fig2..fig6, hitrates, summary, coverage, fullcache, spectrum, scaling, analytic, ablations)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (all, table1, table2, fig2..fig6, hitrates, summary, coverage, fullcache, spectrum, scaling, analytic, ablations)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	bars := flag.Bool("bars", false, "render figures as stacked bar charts")
 	asJSON := flag.Bool("json", false, "emit figures as JSON (for plotting tools)")
+	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = no persistence)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout, e.g. 5m (0 = none)")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -31,6 +39,10 @@ func main() {
 		os.Exit(2)
 	}
 	s := core.NewSession(scale)
+	s.Jobs = *jobs
+	s.CacheDir = *cacheDir
+	s.Timeout = *timeout
+	defer s.Close()
 	if *verbose {
 		s.Trace = os.Stderr
 	}
@@ -158,15 +170,29 @@ func main() {
 		return nil
 	}
 
-	ids := []string{*expFlag}
-	if *expFlag == "all" {
-		ids = []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
-			"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
+	all := []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
+	var ids []string
+	for _, id := range strings.Split(*expFlag, ",") {
+		id = strings.TrimSpace(id)
+		switch id {
+		case "":
+		case "all":
+			ids = append(ids, all...)
+		default:
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		ids = all
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, s.Metrics())
 	}
 }

@@ -5,9 +5,14 @@
 //
 //	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
 //	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
+//	       [-timeout D] [-seed N]
+//
+// -timeout bounds the run's wall-clock time: the simulation is canceled
+// through the job engine's context when it expires.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +33,8 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
 	fullcache := flag.Bool("fullcache", false, "use full 64KB/256KB caches instead of scaled 2KB/4KB")
 	meshNet := flag.Bool("mesh", false, "use the 2-D wormhole mesh interconnect instead of the direct network")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run, e.g. 30s (0 = unbounded)")
+	seed := flag.Int64("seed", 0, "workload seed override (0 = the paper's seeds)")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -60,6 +67,13 @@ func main() {
 	cfg.MeshNetwork = *meshNet
 
 	s := core.NewSession(scale)
+	s.Seed = *seed
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		s.Ctx = ctx
+	}
+	defer s.Close()
 	res, err := s.Run(*app, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "latsim:", err)

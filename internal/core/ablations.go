@@ -22,6 +22,9 @@ type HitRateRow struct {
 // cached SC machine). The paper reports 80/66/77% shared-read and
 // 75/97/47% shared-write hit rates for MP3D/LU/PTHOR.
 func (s *Session) HitRates() ([]HitRateRow, error) {
+	if err := s.warm(Base()); err != nil {
+		return nil, err
+	}
 	paperRead := map[string]float64{"MP3D": 0.80, "LU": 0.66, "PTHOR": 0.77}
 	paperWrite := map[string]float64{"MP3D": 0.75, "LU": 0.97, "PTHOR": 0.47}
 	var rows []HitRateRow
@@ -78,6 +81,14 @@ func (a *Ablation) Render(w io.Writer) {
 // sweep runs a config mutation sweep over all applications.
 func (s *Session) sweep(id, title string, settings []string, mut func(cfg *config.Config, i int)) (*Ablation, error) {
 	ab := &Ablation{ID: id, Title: title}
+	cfgs := make([]config.Config, len(settings))
+	for i := range settings {
+		cfgs[i] = Base()
+		mut(&cfgs[i], i)
+	}
+	if err := s.warm(cfgs...); err != nil {
+		return nil, err
+	}
 	for _, app := range AppNames {
 		for i, set := range settings {
 			cfg := Base()

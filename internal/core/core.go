@@ -8,15 +8,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"latsim/internal/apps/lu"
 	"latsim/internal/apps/mp3d"
 	"latsim/internal/apps/pthor"
 	"latsim/internal/config"
 	"latsim/internal/machine"
+	"latsim/internal/runner"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -55,69 +59,194 @@ func ParseScale(v string) (Scale, error) {
 // AppNames lists the benchmarks in the paper's order.
 var AppNames = []string{"MP3D", "LU", "PTHOR"}
 
-// Session runs experiments, memoizing results so figures sharing
-// configurations (e.g. the cached-SC baseline) simulate once.
+// Session runs experiments through the parallel job engine
+// (internal/runner): every (app, configuration) pair becomes a hashed
+// job, duplicates across figures (e.g. the cached-SC baseline) collapse
+// onto one execution, and — when CacheDir is set — results persist on
+// disk so re-running figures over unchanged configurations is
+// near-instant. Simulations are deterministic, so parallel, sequential
+// and cache-warmed runs produce identical results.
+//
+// The exported knobs must be set before the first Run/experiment call;
+// they take effect when the engine is lazily built.
 type Session struct {
-	Scale   Scale
-	Trace   io.Writer // optional progress output
-	results map[string]*machine.Result
+	Scale Scale
+	Trace io.Writer // optional progress output
+
+	// Jobs bounds concurrent simulations (0 = runtime.GOMAXPROCS).
+	Jobs int
+	// CacheDir enables the persistent result cache ("" = memory only).
+	CacheDir string
+	// Timeout is the per-job wall-clock limit (0 = none).
+	Timeout time.Duration
+	// Ctx cancels submitted jobs (nil = context.Background()).
+	Ctx context.Context
+	// Seed overrides the benchmarks' workload seeds (0 = paper seeds).
+	Seed int64
+
+	mu  sync.Mutex
+	eng *runner.Runner
 }
 
 // NewSession creates an experiment session at the given scale.
 func NewSession(scale Scale) *Session {
-	return &Session{Scale: scale, results: make(map[string]*machine.Result)}
+	return &Session{Scale: scale}
 }
 
 // newApp builds a benchmark instance (fresh per run: apps hold state).
-func (s *Session) newApp(name string, prefetch bool) machine.App {
+func newApp(name string, scale Scale, prefetch bool, seed int64) (machine.App, error) {
 	switch name {
 	case "MP3D":
 		p := mp3d.Default()
-		if s.Scale == ScaleSmall {
+		if scale == ScaleSmall {
 			p = mp3d.Scaled(2000, 2)
 		}
-		p.Prefetch = prefetch
-		return mp3d.New(p)
-	case "LU":
-		p := lu.Default()
-		if s.Scale == ScaleSmall {
-			p = lu.Scaled(96)
+		if seed != 0 {
+			p.Seed = seed
 		}
 		p.Prefetch = prefetch
-		return lu.New(p)
+		return mp3d.New(p), nil
+	case "LU":
+		p := lu.Default()
+		if scale == ScaleSmall {
+			p = lu.Scaled(96)
+		}
+		if seed != 0 {
+			p.Seed = seed
+		}
+		p.Prefetch = prefetch
+		return lu.New(p), nil
 	case "PTHOR":
 		p := pthor.Default()
-		if s.Scale == ScaleSmall {
+		if scale == ScaleSmall {
 			p.Circuit.Gates = 3000
 			p.Circuit.Depth = 12
 			p.Cycles = 2
 		}
+		if seed != 0 {
+			p.Circuit.Seed = seed
+		}
 		p.Prefetch = prefetch
-		return pthor.New(p)
+		return pthor.New(p), nil
 	}
-	panic("core: unknown app " + name)
+	return nil, fmt.Errorf("core: unknown app %q", name)
 }
 
-// Run simulates one (app, configuration) pair, memoized.
-func (s *Session) Run(app string, cfg config.Config) (*machine.Result, error) {
-	// The key covers the entire configuration (Config is a value type).
-	key := fmt.Sprintf("%s|%+v", app, cfg)
-	if r, ok := s.results[key]; ok {
-		return r, nil
+// engine lazily builds the job engine from the session's knobs.
+func (s *Session) engine() (*runner.Runner, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		eng, err := runner.New(runner.Options{
+			Workers:  s.Jobs,
+			CacheDir: s.CacheDir,
+			Timeout:  s.Timeout,
+			Trace:    s.Trace,
+		}, execJob)
+		if err != nil {
+			return nil, err
+		}
+		s.eng = eng
 	}
-	if s.Trace != nil {
-		fmt.Fprintf(s.Trace, "  running %s on %s (%s scale)...\n", app, cfg.Name(), s.Scale)
-	}
-	m, err := machine.New(cfg)
+	return s.eng, nil
+}
+
+// execJob is the runner's ExecFunc: one fresh machine per job.
+func execJob(ctx context.Context, j runner.Job) (*machine.Result, error) {
+	scale, err := ParseScale(j.Scale)
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Run(s.newApp(app, cfg.Prefetch))
+	app, err := newApp(j.App, scale, j.Cfg.Prefetch, j.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s on %s: %w", app, cfg.Name(), err)
+		return nil, err
 	}
-	s.results[key] = res
+	m, err := machine.New(j.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.RunContext(ctx, app)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", j.App, j.Cfg.Name(), err)
+	}
 	return res, nil
+}
+
+func (s *Session) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+func (s *Session) job(app string, cfg config.Config) runner.Job {
+	return runner.Job{App: app, Scale: s.Scale.String(), Seed: s.Seed, Cfg: cfg}
+}
+
+// Run simulates one (app, configuration) pair through the job engine.
+// Repeated runs of the same pair return the memoized result.
+func (s *Session) Run(app string, cfg config.Config) (*machine.Result, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(s.ctx(), s.job(app, cfg))
+}
+
+// Request names one (application, configuration) run in a batch.
+type Request struct {
+	App string
+	Cfg config.Config
+}
+
+// RunBatch submits every request to the job engine at once and waits for
+// all of them, returning results in request order. Duplicate requests
+// dedup onto a single simulation.
+func (s *Session) RunBatch(reqs []Request) ([]*machine.Result, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job, len(reqs))
+	for i, r := range reqs {
+		jobs[i] = s.job(r.App, r.Cfg)
+	}
+	return eng.RunAll(s.ctx(), jobs)
+}
+
+// warm submits every application x configuration pair so the workers
+// simulate them in parallel; the figure-assembly code that follows then
+// reads completed results in its original deterministic order.
+func (s *Session) warm(cfgs ...config.Config) error {
+	reqs := make([]Request, 0, len(AppNames)*len(cfgs))
+	for _, app := range AppNames {
+		for _, cfg := range cfgs {
+			reqs = append(reqs, Request{App: app, Cfg: cfg})
+		}
+	}
+	_, err := s.RunBatch(reqs)
+	return err
+}
+
+// Metrics snapshots the job engine's progress counters.
+func (s *Session) Metrics() runner.Metrics {
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	if eng == nil {
+		return runner.Metrics{}
+	}
+	return eng.Metrics()
+}
+
+// Close rejects further submissions; in-flight jobs finish normally.
+func (s *Session) Close() {
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	if eng != nil {
+		eng.Close()
+	}
 }
 
 // Base returns the paper's base machine configuration (cached, SC,
@@ -198,6 +327,13 @@ func (s *Session) Figure2() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
 	}
+	{
+		nocache := Base()
+		nocache.CacheShared = false
+		if err := s.warm(nocache, Base()); err != nil {
+			return nil, err
+		}
+	}
 	for _, app := range AppNames {
 		nocache := Base()
 		nocache.CacheShared = false
@@ -228,6 +364,13 @@ func (s *Session) Figure3() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
 	}
+	{
+		rcCfg := Base()
+		rcCfg.Model = config.RC
+		if err := s.warm(Base(), rcCfg); err != nil {
+			return nil, err
+		}
+	}
 	for _, app := range AppNames {
 		sc, err := s.Run(app, Base())
 		if err != nil {
@@ -257,6 +400,20 @@ func (s *Session) Figure4() (*Figure, error) {
 		Apps:   AppNames,
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
+	}
+	{
+		var cfgs []config.Config
+		for _, mdl := range []config.Consistency{config.SC, config.RC} {
+			for _, pf := range []bool{false, true} {
+				cfg := Base()
+				cfg.Model = mdl
+				cfg.Prefetch = pf
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		if err := s.warm(cfgs...); err != nil {
+			return nil, err
+		}
 	}
 	for _, app := range AppNames {
 		var bars []Bar
@@ -296,6 +453,20 @@ func (s *Session) Figure5() (*Figure, error) {
 		Apps:   AppNames,
 		Bars:   map[string][]Bar{},
 		Legend: mcLegend,
+	}
+	{
+		cfgs := []config.Config{Base()}
+		for _, pen := range []int{16, 4} {
+			for _, ctxs := range []int{2, 4} {
+				cfg := Base()
+				cfg.Contexts = ctxs
+				cfg.SwitchPenalty = pen
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		if err := s.warm(cfgs...); err != nil {
+			return nil, err
+		}
 	}
 	for _, app := range AppNames {
 		single, err := s.Run(app, Base())
@@ -341,6 +512,22 @@ func (s *Session) Figure6() (*Figure, error) {
 		{config.SC, false, "SC"},
 		{config.RC, false, "RC"},
 		{config.RC, true, "RC+pf"},
+	}
+	{
+		var cfgs []config.Config
+		for _, g := range groups {
+			for _, ctxs := range []int{1, 2, 4} {
+				cfg := Base()
+				cfg.Model = g.mdl
+				cfg.Prefetch = g.pf
+				cfg.Contexts = ctxs
+				cfg.SwitchPenalty = 4
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		if err := s.warm(cfgs...); err != nil {
+			return nil, err
+		}
 	}
 	for _, app := range AppNames {
 		var bars []Bar
@@ -392,6 +579,9 @@ type Table2Row struct {
 // Table2 reproduces the benchmark statistics table (under the cached-SC
 // base machine).
 func (s *Session) Table2() ([]Table2Row, error) {
+	if err := s.warm(Base()); err != nil {
+		return nil, err
+	}
 	var rows []Table2Row
 	for _, app := range AppNames {
 		res, err := s.Run(app, Base())
@@ -440,6 +630,20 @@ type SpeedupRow struct {
 // the uncached sequentially consistent baseline, and the best overall
 // (the paper reports 4x to 7x).
 func (s *Session) Summary() ([]SpeedupRow, error) {
+	{
+		nocache := Base()
+		nocache.CacheShared = false
+		rcCfg := Base()
+		rcCfg.Model = config.RC
+		pfCfg := rcCfg
+		pfCfg.Prefetch = true
+		mcCfg := rcCfg
+		mcCfg.Contexts = 4
+		mcCfg.SwitchPenalty = 4
+		if err := s.warm(nocache, Base(), rcCfg, pfCfg, mcCfg); err != nil {
+			return nil, err
+		}
+	}
 	var rows []SpeedupRow
 	for _, app := range AppNames {
 		nocache := Base()

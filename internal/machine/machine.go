@@ -4,6 +4,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -129,10 +130,20 @@ type Result struct {
 
 // Run executes the application to completion and returns its result.
 func (m *Machine) Run(app App) (*Result, error) {
+	return m.RunContext(context.Background(), app)
+}
+
+// RunContext is Run with cancellation: the simulation stops early with
+// ctx's error when the context is canceled or times out. The context is
+// polled every 1024 simulator events to keep the hot event loop cheap.
+func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	if m.ran {
 		return nil, fmt.Errorf("machine: already ran; build a fresh Machine per run")
 	}
 	m.ran = true
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("machine: %s canceled before start: %w", app.Name(), err)
+	}
 	if err := app.Setup(m); err != nil {
 		return nil, fmt.Errorf("machine: setup of %s: %w", app.Name(), err)
 	}
@@ -147,12 +158,29 @@ func (m *Machine) Run(app App) (*Result, error) {
 	for _, p := range m.procs {
 		p.Start()
 	}
+	var ctxErr error
 	var stop func() bool
-	if m.cfg.MaxCycles > 0 {
-		stop = func() bool { return uint64(m.k.Now()) > m.cfg.MaxCycles }
+	watchdog := m.cfg.MaxCycles > 0
+	if watchdog || ctx.Done() != nil {
+		var tick uint
+		stop = func() bool {
+			if watchdog && uint64(m.k.Now()) > m.cfg.MaxCycles {
+				return true
+			}
+			if tick++; tick&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return true
+				}
+			}
+			return false
+		}
 	}
 	m.k.Run(stop)
-	if stop != nil && stop() {
+	if ctxErr != nil {
+		return nil, fmt.Errorf("machine: %s canceled at t=%d: %w", app.Name(), m.k.Now(), ctxErr)
+	}
+	if watchdog && uint64(m.k.Now()) > m.cfg.MaxCycles {
 		var states []string
 		for _, p := range m.procs {
 			states = append(states, p.StateSummary())

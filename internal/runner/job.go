@@ -1,0 +1,66 @@
+// Package runner is the parallel experiment-execution engine. The
+// paper's evaluation is a matrix of independent, deterministic
+// simulations; this package turns each of them into a Job with a
+// canonical content hash and executes them on a worker pool with
+// singleflight deduplication, per-job panic recovery, wall-clock
+// timeouts, context cancellation, and an optional persistent on-disk
+// result cache so regenerating figures over unchanged configurations is
+// near-instant.
+//
+// The runner is deliberately ignorant of what a job *means*: execution
+// is delegated to an ExecFunc supplied by the caller (internal/core
+// wires it to the machine simulator), which keeps the dependency arrow
+// pointing from the harness to the engine and not back.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"latsim/internal/config"
+)
+
+// SchemaVersion is baked into every job hash and persisted cache entry.
+// Bump it whenever the simulator's timing semantics or the Result schema
+// change, so stale on-disk results are invalidated wholesale instead of
+// silently reused.
+const SchemaVersion = 1
+
+// Job names one deterministic simulation: an application, a data-set
+// scale, an optional workload seed override (0 keeps the paper's seeds),
+// and a full machine configuration. Two Jobs with equal fields are the
+// same experiment and share one execution and one cache entry.
+type Job struct {
+	App   string        `json:"app"`
+	Scale string        `json:"scale,omitempty"`
+	Seed  int64         `json:"seed,omitempty"`
+	Cfg   config.Config `json:"cfg"`
+}
+
+// Key returns the job's canonical content hash: SHA-256 over the
+// schema-versioned JSON encoding of the job. encoding/json emits struct
+// fields in declaration order and config.Config is a flat value type, so
+// the encoding — and therefore the key — is deterministic.
+func (j Job) Key() string {
+	b, err := json.Marshal(struct {
+		Schema int `json:"schema"`
+		Job    Job `json:"job"`
+	}{SchemaVersion, j})
+	if err != nil {
+		// Config and Job are plain value types; this cannot fail.
+		panic(fmt.Sprintf("runner: job not serializable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// String labels the job in progress traces and errors.
+func (j Job) String() string {
+	s := fmt.Sprintf("%s on %s", j.App, j.Cfg.Name())
+	if j.Scale != "" {
+		s += " (" + j.Scale + " scale)"
+	}
+	return s
+}

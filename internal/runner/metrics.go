@@ -1,0 +1,33 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics is a snapshot of the runner's progress counters. All fields
+// count jobs except SimCycles (total simulated cycles of executed jobs)
+// and WallTime (summed wall-clock execution time, which exceeds elapsed
+// time when workers run in parallel).
+type Metrics struct {
+	Submitted int64 // Submit calls, including duplicates
+	Deduped   int64 // submissions coalesced onto an existing task
+	Queued    int64 // waiting for a worker
+	Running   int64 // currently executing
+	Executed  int64 // simulated to completion
+	CacheHits int64 // satisfied from the persistent cache
+	Failed    int64 // returned an error, panicked, or timed out
+	SimCycles uint64
+	WallTime  time.Duration
+}
+
+// Done is the number of jobs that have finished one way or another.
+func (m Metrics) Done() int64 { return m.Executed + m.CacheHits + m.Failed }
+
+// String renders the one-line progress summary streamed to Trace.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"jobs: %d submitted (%d deduped), %d queued, %d running, %d simulated, %d cache hits, %d failed; %d sim cycles in %v",
+		m.Submitted, m.Deduped, m.Queued, m.Running, m.Executed,
+		m.CacheHits, m.Failed, m.SimCycles, m.WallTime.Round(time.Millisecond))
+}

@@ -1,0 +1,49 @@
+package stats
+
+import "encoding/json"
+
+// Proc's run-length histogram is unexported, but the persistent result
+// cache (internal/runner) round-trips whole results through JSON and a
+// warm-cache run must reproduce the cold run byte for byte — including
+// MedianRunLength and MeanRunLength. The custom (un)marshalers below
+// carry the histogram as sparse (length, count) pairs alongside the
+// exported fields. Every field is integral, so the round trip is exact.
+
+// MarshalJSON serializes all statistics including the run histogram.
+func (p *Proc) MarshalJSON() ([]byte, error) {
+	type alias Proc // drops methods to avoid recursion
+	aux := struct {
+		*alias
+		RunHist [][2]uint64 `json:"run_hist,omitempty"`
+		Runs    uint64      `json:"runs,omitempty"`
+	}{alias: (*alias)(p), Runs: p.runs}
+	for l, c := range p.runHist {
+		if c != 0 {
+			aux.RunHist = append(aux.RunHist, [2]uint64{uint64(l), uint64(c)})
+		}
+	}
+	return json.Marshal(aux)
+}
+
+// UnmarshalJSON restores statistics written by MarshalJSON.
+func (p *Proc) UnmarshalJSON(b []byte) error {
+	type alias Proc
+	aux := struct {
+		*alias
+		RunHist [][2]uint64 `json:"run_hist"`
+		Runs    uint64      `json:"runs"`
+	}{alias: (*alias)(p)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	p.runHist = [maxRunLength + 1]uint32{}
+	for _, lc := range aux.RunHist {
+		l := lc[0]
+		if l > maxRunLength {
+			l = maxRunLength
+		}
+		p.runHist[l] += uint32(lc[1])
+	}
+	p.runs = aux.Runs
+	return nil
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestProcJSONRoundTrip guards the persistent result cache's invariant:
+// a Proc survives a JSON round trip exactly, unexported run-length
+// histogram included.
+func TestProcJSONRoundTrip(t *testing.T) {
+	p := &Proc{
+		SharedReads:  100,
+		SharedWrites: 40,
+		ReadMisses:   9,
+		Locks:        3,
+	}
+	p.Add(Busy, 1234)
+	p.Add(ReadStall, 567)
+	p.RecordRun(11)
+	p.RecordRun(11)
+	p.RecordRun(22)
+	p.RecordRun(maxRunLength + 100) // clamps into the last bucket
+
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Proc
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, &q) {
+		t.Fatalf("round trip changed the Proc:\n  in:  %+v\n  out: %+v", p, q)
+	}
+	if q.MedianRunLength() != p.MedianRunLength() || q.MeanRunLength() != p.MeanRunLength() {
+		t.Fatalf("run-length stats changed: median %d->%d mean %g->%g",
+			p.MedianRunLength(), q.MedianRunLength(), p.MeanRunLength(), q.MeanRunLength())
+	}
+
+	b2, err := json.Marshal(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-encoding differs:\n  %s\n  %s", b, b2)
+	}
+}

@@ -32,6 +32,11 @@
 package latsim
 
 import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
 	"latsim/internal/apps/lu"
 	"latsim/internal/apps/mp3d"
 	"latsim/internal/apps/pthor"
@@ -40,6 +45,7 @@ import (
 	"latsim/internal/machine"
 	"latsim/internal/mem"
 	"latsim/internal/msync"
+	"latsim/internal/runner"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -122,6 +128,82 @@ func Run(cfg Config, app App) (*Result, error) {
 		return nil, err
 	}
 	return m.Run(app)
+}
+
+// RunContext is Run with cancellation: the simulation aborts with ctx's
+// error when the context is canceled or times out.
+func RunContext(ctx context.Context, cfg Config, app App) (*Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunContext(ctx, app)
+}
+
+// BatchOptions configure RunAll's parallel job engine.
+type BatchOptions struct {
+	// Jobs bounds concurrent simulations (0 = runtime.GOMAXPROCS).
+	Jobs int
+	// Timeout is the per-run wall-clock limit (0 = none).
+	Timeout time.Duration
+	// CacheDir persists results on disk keyed by configuration hash.
+	// Because the library cannot hash an arbitrary App's workload, the
+	// cache requires AppID to be set.
+	CacheDir string
+	// AppID names the workload for cache keying. It must change whenever
+	// the workload's behavior (code, parameters, seeds) changes, or stale
+	// cached results will be served.
+	AppID string
+	// Trace receives per-run progress lines (nil discards them).
+	Trace io.Writer
+}
+
+// BatchMetrics is a snapshot of a batch run's progress counters.
+type BatchMetrics = runner.Metrics
+
+// RunAll executes one application workload under many machine
+// configurations concurrently and returns the results in cfgs order.
+// newApp must return a fresh App per call (apps hold run state).
+// Identical configurations deduplicate onto a single simulation and
+// share one *Result. Simulations are deterministic, so the results
+// equal a sequential Run of each configuration.
+func RunAll(cfgs []Config, newApp func() App) ([]*Result, error) {
+	return RunAllContext(context.Background(), cfgs, newApp, BatchOptions{})
+}
+
+// RunAllContext is RunAll with cancellation and engine options.
+func RunAllContext(ctx context.Context, cfgs []Config, newApp func() App, opt BatchOptions) ([]*Result, error) {
+	if newApp == nil {
+		return nil, errors.New("latsim: RunAll: nil newApp")
+	}
+	if opt.CacheDir != "" && opt.AppID == "" {
+		return nil, errors.New("latsim: RunAll: BatchOptions.CacheDir requires AppID (the cache key must identify the workload)")
+	}
+	appID := opt.AppID
+	if appID == "" {
+		appID = "custom"
+	}
+	eng, err := runner.New(runner.Options{
+		Workers:  opt.Jobs,
+		CacheDir: opt.CacheDir,
+		Timeout:  opt.Timeout,
+		Trace:    opt.Trace,
+	}, func(ctx context.Context, j runner.Job) (*Result, error) {
+		m, err := machine.New(j.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.RunContext(ctx, newApp())
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	jobs := make([]runner.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = runner.Job{App: appID, Cfg: cfg}
+	}
+	return eng.RunAll(ctx, jobs)
 }
 
 // Benchmark application parameter types.
