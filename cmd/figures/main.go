@@ -17,12 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"latsim/internal/core"
 )
 
-func main() {
+// main delegates to realMain so deferred cleanups (profile flush, session
+// close) run before the process exits.
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (all, table1, table2, fig2..fig6, hitrates, summary, coverage, fullcache, spectrum, scaling, analytic, ablations)")
 	verbose := flag.Bool("v", false, "print per-run progress")
@@ -31,12 +36,28 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = no persistence)")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout, e.g. 5m (0 = none)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	s := core.NewSession(scale)
 	s.Jobs = *jobs
@@ -47,22 +68,22 @@ func main() {
 		s.Trace = os.Stderr
 	}
 
-	render := func(f *core.Figure) {
+	render := func(f *core.Figure) error {
 		if *asJSON {
 			b, err := f.JSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				return err
 			}
 			os.Stdout.Write(b)
 			fmt.Println()
-			return
+			return nil
 		}
 		if *bars {
 			f.RenderBars(os.Stdout, 60)
-			return
+			return nil
 		}
 		f.Render(os.Stdout)
+		return nil
 	}
 	run := func(id string) error {
 		switch id {
@@ -83,31 +104,41 @@ func main() {
 			if err != nil {
 				return err
 			}
-			render(f)
+			if err := render(f); err != nil {
+				return err
+			}
 		case "fig3":
 			f, err := s.Figure3()
 			if err != nil {
 				return err
 			}
-			render(f)
+			if err := render(f); err != nil {
+				return err
+			}
 		case "fig4":
 			f, err := s.Figure4()
 			if err != nil {
 				return err
 			}
-			render(f)
+			if err := render(f); err != nil {
+				return err
+			}
 		case "fig5":
 			f, err := s.Figure5()
 			if err != nil {
 				return err
 			}
-			render(f)
+			if err := render(f); err != nil {
+				return err
+			}
 		case "fig6":
 			f, err := s.Figure6()
 			if err != nil {
 				return err
 			}
-			render(f)
+			if err := render(f); err != nil {
+				return err
+			}
 		case "hitrates":
 			rows, err := s.HitRates()
 			if err != nil {
@@ -144,7 +175,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			render(f)
+			if err := render(f); err != nil {
+				return err
+			}
 		case "scaling":
 			pts, err := s.ScalingSweep()
 			if err != nil {
@@ -189,10 +222,11 @@ func main() {
 	for _, id := range ids {
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *verbose {
 		fmt.Fprintln(os.Stderr, s.Metrics())
 	}
+	return 0
 }

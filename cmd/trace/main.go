@@ -8,9 +8,13 @@
 // Replay it under a different machine configuration:
 //
 //	trace -replay lu.trace -model RC -contexts 2
+//
+// -seed overrides the recorded benchmark's workload seed (0 keeps the
+// paper's seeds); -timeout bounds the run's wall-clock time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +38,8 @@ func main() {
 	model := flag.String("model", "SC", "consistency model: SC, PC, WC or RC")
 	contexts := flag.Int("contexts", 1, "hardware contexts per processor")
 	procs := flag.Int("procs", 16, "processors")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run, e.g. 30s (0 = unbounded)")
+	seed := flag.Int64("seed", 0, "workload seed override for -record (0 = the paper's seeds)")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -51,20 +57,27 @@ func main() {
 		fatalf("unknown model %q", *model)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch {
 	case *record:
 		if *out == "" {
 			fatalf("-record requires -o <file>")
 		}
-		doRecord(cfg, *app, *scaleFlag, *out)
+		doRecord(ctx, cfg, *app, *scaleFlag, *out, *seed)
 	case *replayPath != "":
-		doReplay(cfg, *replayPath)
+		doReplay(ctx, cfg, *replayPath)
 	default:
 		fatalf("need -record or -replay <file>")
 	}
 }
 
-func doRecord(cfg config.Config, appName, scaleFlag, out string) {
+func doRecord(ctx context.Context, cfg config.Config, appName, scaleFlag, out string, seed int64) {
 	scale, err := core.ParseScale(scaleFlag)
 	if err != nil {
 		fatalf("%v", err)
@@ -76,11 +89,17 @@ func doRecord(cfg config.Config, appName, scaleFlag, out string) {
 		if scale == core.ScaleSmall {
 			p = mp3d.Scaled(2000, 2)
 		}
+		if seed != 0 {
+			p.Seed = seed
+		}
 		app = mp3d.New(p)
 	case "LU":
 		p := lu.Default()
 		if scale == core.ScaleSmall {
 			p = lu.Scaled(96)
+		}
+		if seed != 0 {
+			p.Seed = seed
 		}
 		app = lu.New(p)
 	case "PTHOR":
@@ -89,6 +108,9 @@ func doRecord(cfg config.Config, appName, scaleFlag, out string) {
 			p.Circuit.Gates = 3000
 			p.Circuit.Depth = 12
 			p.Cycles = 2
+		}
+		if seed != 0 {
+			p.Circuit.Seed = seed
 		}
 		app = pthor.New(p)
 	default:
@@ -99,7 +121,7 @@ func doRecord(cfg config.Config, appName, scaleFlag, out string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := m.Run(rec)
+	res, err := m.RunContext(ctx, rec)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -118,7 +140,7 @@ func doRecord(cfg config.Config, appName, scaleFlag, out string) {
 	fmt.Printf("execution-driven run: %d cycles\n", res.Elapsed)
 }
 
-func doReplay(cfg config.Config, path string) {
+func doReplay(ctx context.Context, cfg config.Config, path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -132,7 +154,7 @@ func doReplay(cfg config.Config, path string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := m.Run(trace.NewReplayer(tr))
+	res, err := m.RunContext(ctx, trace.NewReplayer(tr))
 	if err != nil {
 		fatalf("%v", err)
 	}

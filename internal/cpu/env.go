@@ -11,6 +11,14 @@ import (
 // process runs native Go code and submits every shared-memory reference,
 // synchronization operation, and block of computation to the simulator,
 // blocking until the architecture model completes it.
+//
+// Every operation yields to the simulator — native code between two
+// operations executes at the simulated completion time of the first, which
+// the applications rely on when they poll shared Go state (PTHOR's task
+// queues). Compute blocks are cheap regardless: the processor completes
+// them through the kernel's synchronous fast path, so an uncontended
+// compute block costs no kernel event and no allocation (see
+// Processor.delayThen).
 type Env struct {
 	c      *Context
 	pid    int
@@ -53,37 +61,17 @@ const (
 // stream). Lock and bar are non-nil for synchronization operations.
 type TraceFn func(pid int, kind TraceKind, addr mem.Addr, n int, lock *msync.Lock, bar *msync.Barrier)
 
+// trace reports one operation to the installed observer, at the moment the
+// application issues it.
+func (e *Env) trace(k TraceKind, addr mem.Addr, n int, lock *msync.Lock, bar *msync.Barrier) {
+	if tr := e.c.p.trace; tr != nil {
+		tr(e.pid, k, addr, n, lock, bar)
+	}
+}
+
 // submit hands the operation to the processor and blocks the process until
 // the simulator has executed it.
 func (e *Env) submit(o op) {
-	if tr := e.c.p.trace; tr != nil {
-		var k TraceKind
-		switch o.kind {
-		case opCompute:
-			k = TCompute
-		case opPFCompute:
-			k = TPFCompute
-		case opSpin:
-			k = TSpin
-		case opRead:
-			k = TRead
-		case opWrite:
-			k = TWrite
-		case opPrefetch:
-			if o.excl {
-				k = TPrefetchExcl
-			} else {
-				k = TPrefetch
-			}
-		case opLock:
-			k = TLock
-		case opUnlock:
-			k = TUnlock
-		case opBarrier:
-			k = TBarrier
-		}
-		tr(e.pid, k, o.addr, o.cycles, o.lock, o.bar)
-	}
 	e.c.cur = o
 	e.c.co.Yield()
 }
@@ -94,6 +82,7 @@ func (e *Env) Compute(n int) {
 	if n <= 0 {
 		return
 	}
+	e.trace(TCompute, 0, n, nil, nil)
 	e.submit(op{kind: opCompute, cycles: n})
 }
 
@@ -103,6 +92,7 @@ func (e *Env) PFCompute(n int) {
 	if n <= 0 {
 		return
 	}
+	e.trace(TPFCompute, 0, n, nil, nil)
 	e.submit(op{kind: opPFCompute, cycles: n})
 }
 
@@ -114,23 +104,29 @@ func (e *Env) SpinWait(n int) {
 	if n <= 0 {
 		n = 1
 	}
+	e.trace(TSpin, 0, n, nil, nil)
 	e.submit(op{kind: opSpin, cycles: n})
 }
 
 // Read performs a shared-data read. The process blocks until the read
 // completes (reads are blocking on the modeled processor).
 func (e *Env) Read(a mem.Addr) {
+	e.trace(TRead, a, 0, nil, nil)
 	e.submit(op{kind: opRead, addr: a})
 }
 
 // Write performs a shared-data write. Under SC the process stalls until
 // the write retires; under RC it continues once the write is buffered.
 func (e *Env) Write(a mem.Addr) {
+	e.trace(TWrite, a, 0, nil, nil)
 	e.submit(op{kind: opWrite, addr: a})
 }
 
 // ReadRange reads every cache line in [a, a+bytes).
 func (e *Env) ReadRange(a mem.Addr, bytes int) {
+	if bytes <= 0 {
+		return
+	}
 	for l := mem.LineOf(a); l <= mem.LineOf(a+mem.Addr(bytes)-1); l++ {
 		e.Read(mem.AddrOf(l))
 	}
@@ -138,6 +134,9 @@ func (e *Env) ReadRange(a mem.Addr, bytes int) {
 
 // WriteRange writes every cache line in [a, a+bytes).
 func (e *Env) WriteRange(a mem.Addr, bytes int) {
+	if bytes <= 0 {
+		return
+	}
 	for l := mem.LineOf(a); l <= mem.LineOf(a+mem.Addr(bytes)-1); l++ {
 		e.Write(mem.AddrOf(l))
 	}
@@ -145,17 +144,22 @@ func (e *Env) WriteRange(a mem.Addr, bytes int) {
 
 // Prefetch issues a non-binding read-shared prefetch for a's line.
 func (e *Env) Prefetch(a mem.Addr) {
+	e.trace(TPrefetch, a, 0, nil, nil)
 	e.submit(op{kind: opPrefetch, addr: a})
 }
 
 // PrefetchExcl issues a read-exclusive prefetch, acquiring ownership so a
 // subsequent write retires quickly.
 func (e *Env) PrefetchExcl(a mem.Addr) {
+	e.trace(TPrefetchExcl, a, 0, nil, nil)
 	e.submit(op{kind: opPrefetch, addr: a, excl: true})
 }
 
 // PrefetchRange issues read prefetches covering [a, a+bytes).
 func (e *Env) PrefetchRange(a mem.Addr, bytes int, excl bool) {
+	if bytes <= 0 {
+		return
+	}
 	for l := mem.LineOf(a); l <= mem.LineOf(a+mem.Addr(bytes)-1); l++ {
 		if excl {
 			e.PrefetchExcl(mem.AddrOf(l))
@@ -167,16 +171,19 @@ func (e *Env) PrefetchRange(a mem.Addr, bytes int, excl bool) {
 
 // Lock acquires lk (an acquire access: the process blocks until granted).
 func (e *Env) Lock(lk *msync.Lock) {
+	e.trace(TLock, 0, 0, lk, nil)
 	e.submit(op{kind: opLock, lock: lk})
 }
 
 // Unlock releases lk (a release access: under RC it waits, inside the
 // write buffer, for all previous writes and their invalidations).
 func (e *Env) Unlock(lk *msync.Lock) {
+	e.trace(TUnlock, 0, 0, lk, nil)
 	e.submit(op{kind: opUnlock, lock: lk})
 }
 
 // Barrier waits until every participant arrives at b.
 func (e *Env) Barrier(b *msync.Barrier) {
+	e.trace(TBarrier, 0, 0, nil, b)
 	e.submit(op{kind: opBarrier, bar: b})
 }

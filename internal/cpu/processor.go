@@ -51,8 +51,31 @@ const (
 	ctxDone
 )
 
+// contKind says what a context does when its pending event or memory-system
+// completion fires — the continuation of its in-flight operation. Together
+// with Context.Act it replaces the per-operation closures of the original
+// processor model: a context schedules *itself* and never allocates.
+type contKind uint8
+
+const (
+	contNone contKind = iota
+	contResume       // compute block elapsed: resume the process
+	contPort         // primary-port lockout over: re-check the port
+	contReadClassify // read issue cycle over: classify and route
+	contWriteModel   // write issue cycle over: apply the consistency model
+	contSpinEnd      // spin over: yield to sibling contexts
+	contPrefetchIssue
+	contLockIssue
+	contUnlockIssue
+	contBarrierIssue
+	contWake       // long-latency completion: wake the blocked context
+	contInlineDone // short no-switch stall completion: account and resume
+	contWBRead     // buffered write to the read's line retired: retry
+)
+
 // Context is one hardware context: a register set bound to one application
-// process.
+// process. A Context is a sim.Actor: kernel events and memory-system
+// completions re-enter it through Act, dispatching on cont.
 type Context struct {
 	idx   int
 	p     *Processor
@@ -61,7 +84,44 @@ type Context struct {
 	state ctxState
 	cur   op
 	cause stats.Bucket // why it blocked (single-context idle attribution)
+
+	cont       contKind
+	stallStart sim.Time     // start of a short no-switch stall
+	stallCause stats.Bucket // its bucket before inline attribution
+
+	// Pre-built closures for the callback-based msync/memsys interfaces
+	// (one allocation per context per run instead of per operation).
+	wakeFn    func()
+	barrierFn func()
+
+	evt ctxEvent // kernel-event identity (see ctxEvent)
 }
+
+// Act implements sim.Actor: the completion-callback entry, used when a
+// memory-system or synchronization completion re-enters the context. The
+// caller may have more work to do at the current instant (waiter lists),
+// so this entry must not advance the clock — inlineOK stays false.
+func (c *Context) Act() { c.p.step(c) }
+
+// ctxEvent is the context's kernel-event identity. The kernel invokes an
+// event callback in tail position — nothing else runs at the current
+// instant after it returns — so continuations entered here may complete
+// synchronously via delayThen's clock-advancing fast path.
+type ctxEvent struct{ c *Context }
+
+// Act implements sim.Actor.
+func (e *ctxEvent) Act() {
+	p := e.c.p
+	p.inlineOK = true
+	p.step(e.c)
+	p.inlineOK = false
+}
+
+// maxInlineDepth bounds the recursion of the synchronous fast path: after
+// this many nested inline completions the processor falls back to a kernel
+// event (observationally identical) so an event-free stretch of primary
+// hits cannot grow the stack without bound.
+const maxInlineDepth = 32
 
 // Processor is one node's processor with its hardware contexts.
 type Processor struct {
@@ -78,7 +138,24 @@ type Processor struct {
 	doneAt    sim.Time
 	busyRun   sim.Time
 
+	switchTo    *Context // context a pending switch-penalty event resumes
+	inlineOK    bool     // current call chain is tail-positioned under a kernel event
+	inlineDepth int
+
 	trace TraceFn // optional reference-stream observer
+}
+
+// Act implements sim.Actor for the processor's own events: the start event
+// and context-switch penalties.
+func (p *Processor) Act() {
+	p.inlineOK = true
+	if c := p.switchTo; c == nil {
+		p.dispatch()
+	} else {
+		p.switchTo = nil
+		p.exec(c)
+	}
+	p.inlineOK = false
 }
 
 // SetTrace installs a reference-stream observer (nil disables tracing).
@@ -97,7 +174,10 @@ func (p *Processor) AddWorker(pid, nprocs int, body func(*Env)) {
 		panic(fmt.Sprintf("cpu: node %d already has %d contexts", p.node.ID(), p.cfg.Contexts))
 	}
 	c := &Context{idx: len(p.ctxs), p: p}
+	c.evt.c = c
 	c.env = &Env{c: c, pid: pid, nprocs: nprocs}
+	c.wakeFn = func() { p.wake(c) }
+	c.barrierFn = func() { c.cur.bar.ArriveRetired(p.node, c.wakeFn) }
 	c.co = sim.NewCoroutine(func() { body(c.env) })
 	p.ctxs = append(p.ctxs, c)
 }
@@ -108,7 +188,7 @@ func (p *Processor) Start() {
 		p.doneAt = 0
 		return
 	}
-	p.k.At(0, p.dispatch)
+	p.k.AtActor(0, p)
 }
 
 // Done reports whether every context has finished.
@@ -168,6 +248,65 @@ func (p *Processor) inlineStallBucket(cause stats.Bucket) stats.Bucket {
 	return stats.NoSwitchIdle
 }
 
+// step is the continuation dispatcher: every event or completion a context
+// is waiting on re-enters the processor here.
+func (p *Processor) step(c *Context) {
+	switch c.cont {
+	case contResume:
+		p.exec(c)
+	case contPort:
+		p.withPort(c)
+	case contReadClassify:
+		p.classifyRead(c)
+	case contWriteModel:
+		p.writeModel(c)
+	case contSpinEnd:
+		if p.single() {
+			p.exec(c)
+		} else {
+			c.state = ctxReady
+			p.dispatch()
+		}
+	case contPrefetchIssue:
+		p.issuePrefetch(c)
+	case contLockIssue:
+		p.issueLock(c)
+	case contUnlockIssue:
+		p.issueUnlock(c)
+	case contBarrierIssue:
+		p.issueBarrier(c)
+	case contWake:
+		p.wake(c)
+	case contInlineDone:
+		p.account(p.inlineStallBucket(c.stallCause), p.k.Now()-c.stallStart)
+		p.exec(c)
+	case contWBRead:
+		p.wbReadRetired(c)
+	default:
+		panic(fmt.Sprintf("cpu: context stepped with continuation %d", c.cont))
+	}
+}
+
+// delayThen runs the cont continuation d cycles from now. When the kernel
+// provably fires nothing in between (and the inline recursion budget
+// allows), it advances the clock and continues synchronously instead of
+// scheduling an event — the fast path that completes cache hits and
+// compute blocks without touching the event queue.
+func (p *Processor) delayThen(c *Context, d sim.Time, cont contKind) {
+	c.cont = cont
+	if p.inlineOK && p.inlineDepth < maxInlineDepth {
+		t := p.k.Now() + d
+		if next, ok := p.k.NextAt(); !ok || next > t {
+			p.k.AdvanceTo(t)
+			p.inlineDepth++
+			p.step(c)
+			p.inlineDepth--
+			return
+		}
+	}
+	p.k.AfterActor(d, &c.evt)
+}
+
 // dispatch selects the next ready context, paying the switch penalty when
 // the processor must load a different context's state.
 func (p *Processor) dispatch() {
@@ -186,7 +325,8 @@ func (p *Processor) dispatch() {
 		pen := sim.Time(p.cfg.SwitchPenalty)
 		p.account(stats.Switching, pen)
 		p.lastRun = next
-		p.k.After(pen, func() { p.exec(next) })
+		p.switchTo = next
+		p.k.AfterActor(pen, p)
 		return
 	}
 	p.exec(next)
@@ -225,8 +365,11 @@ func (p *Processor) exec(c *Context) {
 
 // blockOn marks the context blocked (a long-latency operation) and
 // schedules other work. The initiating call that will eventually wake the
-// context must be made AFTER blockOn so the wakeup finds it blocked.
+// context must be made AFTER blockOn so the wakeup finds it blocked —
+// which also means the caller still has work to do at this instant after
+// dispatch returns, so the dispatched chain must not advance the clock.
 func (p *Processor) blockOn(c *Context, cause stats.Bucket) {
+	p.inlineOK = false
 	c.state = ctxBlocked
 	c.cause = cause
 	p.recordRun()
@@ -252,71 +395,79 @@ func (p *Processor) wake(c *Context) {
 	}
 }
 
-// withPort runs fn once the primary-cache port is free, accounting lockout
-// stalls (prefetch fills count as prefetch overhead, other contexts' fills
-// as no-switch idle).
-func (p *Processor) withPort(c *Context, fn func()) {
-	until, pf, busy := p.node.PrimaryBusy(p.k.Now())
-	if !busy {
-		fn()
-		return
-	}
-	d := until - p.k.Now()
-	bucket := stats.NoSwitchIdle
-	if pf {
-		bucket = stats.PrefetchOverhead
-	} else if p.single() {
-		bucket = stats.ReadStall
-	}
-	p.account(bucket, d)
-	p.k.After(d, func() { p.withPort(c, fn) })
-}
-
 // handleOp simulates the operation the context just submitted.
 func (p *Processor) handleOp(c *Context) {
 	switch c.cur.kind {
 	case opCompute:
+		// Computation on private data: the processor is busy for the
+		// block's duration, then the process resumes. Usually completes
+		// through delayThen's synchronous fast path — no kernel event.
 		d := sim.Time(c.cur.cycles)
 		p.busy(d)
-		p.k.After(d, func() { p.exec(c) })
+		p.delayThen(c, d, contResume)
 	case opPFCompute:
-		// Extra instructions executed purely to decide/compute
-		// prefetches: accounted as prefetch overhead, not useful work.
+		// Prefetch address computation: pure overhead, not useful work.
 		d := sim.Time(c.cur.cycles)
 		p.account(stats.PrefetchOverhead, d)
-		p.k.After(d, func() { p.exec(c) })
+		p.delayThen(c, d, contResume)
 	case opSpin:
 		// A software spin-wait: the polling instructions are busy time
-		// (the paper counts PTHOR's task-queue spinning as busy), but
-		// on a multiple-context processor the loop contains an explicit
+		// (the paper counts PTHOR's task-queue spinning as busy), and on
+		// a multiple-context processor the loop contains an explicit
 		// switch hint (as on APRIL) so a spinning context cannot starve
 		// its siblings, which hold the work it is waiting for.
-		d := sim.Time(c.cur.cycles)
-		p.busy(d)
-		p.k.After(d, func() {
-			if p.single() {
-				p.exec(c)
-				return
-			}
-			c.state = ctxReady
-			p.dispatch()
-		})
+		p.busy(sim.Time(c.cur.cycles))
+		p.delayThen(c, sim.Time(c.cur.cycles), contSpinEnd)
 	case opRead:
 		p.st.SharedReads++
-		p.withPort(c, func() { p.doRead(c) })
+		p.withPort(c)
 	case opWrite:
 		p.st.SharedWrites++
-		p.withPort(c, func() { p.doWrite(c) })
+		p.withPort(c)
 	case opPrefetch:
-		p.doPrefetch(c)
+		p.st.Prefetches++
+		// The prefetch instruction itself (plus implicit address
+		// computation) is overhead, not useful work.
+		d := sim.Time(p.cfg.PrefetchIssueCycles)
+		p.account(stats.PrefetchOverhead, d)
+		p.delayThen(c, d, contPrefetchIssue)
 	case opLock:
-		p.doLock(c)
+		p.st.Locks++
+		p.busy(1)
+		p.delayThen(c, 1, contLockIssue)
 	case opUnlock:
-		p.doUnlock(c)
+		p.busy(1)
+		p.delayThen(c, 1, contUnlockIssue)
 	case opBarrier:
-		p.doBarrier(c)
+		p.st.Barriers++
+		p.busy(1)
+		p.delayThen(c, 1, contBarrierIssue)
 	default:
 		panic("cpu: unknown operation")
+	}
+}
+
+// withPort proceeds with the read or write once the primary-cache port is
+// free, accounting lockout stalls (prefetch fills count as prefetch
+// overhead, other contexts' fills as no-switch idle).
+func (p *Processor) withPort(c *Context) {
+	until, pf, busy := p.node.PrimaryBusy(p.k.Now())
+	if busy {
+		d := until - p.k.Now()
+		bucket := stats.NoSwitchIdle
+		if pf {
+			bucket = stats.PrefetchOverhead
+		} else if p.single() {
+			bucket = stats.ReadStall
+		}
+		p.account(bucket, d)
+		p.delayThen(c, d, contPort)
+		return
+	}
+	if c.cur.kind == opRead {
+		p.doRead(c)
+	} else {
+		p.doWrite(c)
 	}
 }
 
@@ -325,36 +476,49 @@ func (p *Processor) doRead(c *Context) {
 	if p.cfg.Model.Buffered() && p.node.WBPendingLine(a) {
 		// A write to the same line is still buffered; the read cannot
 		// bypass it.
-		start := p.k.Now()
-		p.node.WBOnLineRetire(a, func() {
-			p.account(p.inlineStallBucket(stats.ReadStall), p.k.Now()-start)
-			p.doRead(c)
-		})
+		c.stallStart = p.k.Now()
+		c.cont = contWBRead
+		p.node.WBOnLineRetireTask(a, sim.ActorTask(c))
 		return
 	}
 	// Classify after the 1-cycle issue, at the same instant the access
 	// starts: an in-flight fill completing during the issue cycle can
 	// change the classification.
 	p.busy(1)
-	p.k.After(1, func() {
-		switch p.node.ClassifyRead(a) {
-		case memsys.ClassPrimary:
-			p.st.ReadPrimaryHit++
-			p.exec(c)
-		case memsys.ClassSecondary:
-			// Short fill from the secondary cache: stall without
-			// switching.
-			p.st.ReadSecHit++
-			start := p.k.Now()
-			p.node.Read(a, func() {
-				p.account(p.inlineStallBucket(stats.ReadStall), p.k.Now()-start)
-				p.exec(c)
-			})
-		case memsys.ClassMiss:
-			p.blockOn(c, stats.ReadStall)
-			p.node.Read(a, func() { p.wake(c) })
-		}
-	})
+	p.delayThen(c, 1, contReadClassify)
+}
+
+// wbReadRetired continues a read that waited on a buffered write to its
+// line: if another write to the line is still pending the wait continues,
+// otherwise the stall is accounted and the read restarts.
+func (p *Processor) wbReadRetired(c *Context) {
+	a := c.cur.addr
+	if p.node.WBPendingLine(a) {
+		p.node.WBOnLineRetireTask(a, sim.ActorTask(c))
+		return
+	}
+	p.account(p.inlineStallBucket(stats.ReadStall), p.k.Now()-c.stallStart)
+	p.doRead(c)
+}
+
+func (p *Processor) classifyRead(c *Context) {
+	a := c.cur.addr
+	switch p.node.ClassifyRead(a) {
+	case memsys.ClassPrimary:
+		p.st.ReadPrimaryHit++
+		p.exec(c)
+	case memsys.ClassSecondary:
+		// Short fill from the secondary cache: stall without switching.
+		p.st.ReadSecHit++
+		c.stallStart = p.k.Now()
+		c.stallCause = stats.ReadStall
+		c.cont = contInlineDone
+		p.node.ReadTask(a, sim.ActorTask(c))
+	case memsys.ClassMiss:
+		p.blockOn(c, stats.ReadStall)
+		c.cont = contWake
+		p.node.ReadTask(a, sim.ActorTask(c))
+	}
 }
 
 func (p *Processor) doWrite(c *Context) {
@@ -365,13 +529,15 @@ func (p *Processor) doWrite(c *Context) {
 		p.st.WriteLocal++
 	}
 	p.busy(1)
-	p.k.After(1, func() {
-		if p.cfg.Model == config.SC {
-			p.scWrite(c, a)
-			return
-		}
-		p.rcWrite(c, a)
-	})
+	p.delayThen(c, 1, contWriteModel)
+}
+
+func (p *Processor) writeModel(c *Context) {
+	if p.cfg.Model == config.SC {
+		p.scWrite(c, c.cur.addr)
+		return
+	}
+	p.rcWrite(c, c.cur.addr)
 }
 
 // scWrite stalls the processor until the write retires (sequential
@@ -379,17 +545,17 @@ func (p *Processor) doWrite(c *Context) {
 // switch; misses are long-latency.
 func (p *Processor) scWrite(c *Context, a mem.Addr) {
 	if p.cfg.CacheShared && p.node.ClassifyWrite(a) == memsys.ClassSecondary {
-		start := p.k.Now()
-		if !p.node.WBEnqueue(a, false, func() {
-			p.account(p.inlineStallBucket(stats.WriteStall), p.k.Now()-start)
-			p.exec(c)
-		}) {
+		c.stallStart = p.k.Now()
+		c.stallCause = stats.WriteStall
+		c.cont = contInlineDone
+		if !p.node.WBEnqueueTask(a, false, sim.ActorTask(c)) {
 			panic("cpu: write buffer full under SC")
 		}
 		return
 	}
 	p.blockOn(c, stats.WriteStall)
-	if !p.node.WBEnqueue(a, false, func() { p.wake(c) }) {
+	c.cont = contWake
+	if !p.node.WBEnqueueTask(a, false, sim.ActorTask(c)) {
 		panic("cpu: write buffer full under SC")
 	}
 }
@@ -397,14 +563,14 @@ func (p *Processor) scWrite(c *Context, a mem.Addr) {
 // rcWrite buffers the write and continues; it only stalls when the write
 // buffer is full.
 func (p *Processor) rcWrite(c *Context, a mem.Addr) {
-	if p.node.WBEnqueue(a, false, nil) {
+	if p.node.WBEnqueueTask(a, false, sim.Task{}) {
 		p.exec(c)
 		return
 	}
 	p.blockOn(c, stats.WriteStall)
 	var try func()
 	try = func() {
-		if p.node.WBEnqueue(a, false, nil) {
+		if p.node.WBEnqueueTask(a, false, sim.Task{}) {
 			p.wake(c)
 			return
 		}
@@ -413,138 +579,110 @@ func (p *Processor) rcWrite(c *Context, a mem.Addr) {
 	p.node.WBOnSpace(try)
 }
 
-func (p *Processor) doPrefetch(c *Context) {
+func (p *Processor) issuePrefetch(c *Context) {
 	a, excl := c.cur.addr, c.cur.excl
-	p.st.Prefetches++
-	// The prefetch instruction itself (plus implicit address
-	// computation) is overhead, not useful work.
-	d := sim.Time(p.cfg.PrefetchIssueCycles)
-	p.account(stats.PrefetchOverhead, d)
-	p.k.After(d, func() {
+	if p.node.PFEnqueue(a, excl) {
+		p.exec(c)
+		return
+	}
+	// Prefetch buffer full: the processor stalls (overhead) until a slot
+	// frees.
+	start := p.k.Now()
+	var try func()
+	try = func() {
 		if p.node.PFEnqueue(a, excl) {
+			p.account(stats.PrefetchOverhead, p.k.Now()-start)
 			p.exec(c)
 			return
 		}
-		// Prefetch buffer full: the processor stalls (overhead) until
-		// a slot frees.
-		start := p.k.Now()
+		p.node.PFOnSpace(try)
+	}
+	p.node.PFOnSpace(try)
+}
+
+func (p *Processor) issueLock(c *Context) {
+	lk := c.cur.lock
+	p.blockOn(c, stats.SyncStall)
+	if p.cfg.Model == config.WC {
+		// Weak consistency: a synchronization access is a full fence —
+		// all previous accesses (and their invalidations) complete
+		// before it issues.
+		p.node.WBOnDrained(func() {
+			lk.Acquire(p.node, c.wakeFn)
+		})
+		return
+	}
+	lk.Acquire(p.node, c.wakeFn)
+}
+
+func (p *Processor) issueUnlock(c *Context) {
+	lk := c.cur.lock
+	if p.cfg.Model == config.RC || p.cfg.Model == config.PC {
+		// RC: the unlock store is a release — it retires from the write
+		// buffer only after all previous writes complete and their
+		// invalidations are acknowledged. PC: it simply performs in
+		// program order behind the buffered writes. Either way the
+		// processor continues immediately.
+		if p.node.WBEnqueueRelease(lk.Addr(), lk, sim.Task{}) {
+			p.exec(c)
+			return
+		}
+		p.blockOn(c, stats.SyncStall)
 		var try func()
 		try = func() {
-			if p.node.PFEnqueue(a, excl) {
-				p.account(stats.PrefetchOverhead, p.k.Now()-start)
-				p.exec(c)
+			if p.node.WBEnqueueRelease(lk.Addr(), lk, sim.Task{}) {
+				p.wake(c)
 				return
-			}
-			p.node.PFOnSpace(try)
-		}
-		p.node.PFOnSpace(try)
-	})
-}
-
-func (p *Processor) doLock(c *Context) {
-	lk := c.cur.lock
-	p.st.Locks++
-	p.busy(1)
-	p.k.After(1, func() {
-		p.blockOn(c, stats.SyncStall)
-		if p.cfg.Model == config.WC {
-			// Weak consistency: a synchronization access is a full
-			// fence — all previous accesses (and their invalidations)
-			// complete before it issues.
-			p.node.WBOnDrained(func() {
-				lk.Acquire(p.node, func() { p.wake(c) })
-			})
-			return
-		}
-		lk.Acquire(p.node, func() { p.wake(c) })
-	})
-}
-
-func (p *Processor) doUnlock(c *Context) {
-	lk := c.cur.lock
-	p.busy(1)
-	p.k.After(1, func() {
-		if p.cfg.Model == config.RC || p.cfg.Model == config.PC {
-			// RC: the unlock store is a release — it retires from the
-			// write buffer only after all previous writes complete and
-			// their invalidations are acknowledged. PC: it simply
-			// performs in program order behind the buffered writes.
-			// Either way the processor continues immediately.
-			if p.node.WBEnqueue(lk.Addr(), true, lk.ReleaseRetired) {
-				p.exec(c)
-				return
-			}
-			p.blockOn(c, stats.SyncStall)
-			var try func()
-			try = func() {
-				if p.node.WBEnqueue(lk.Addr(), true, lk.ReleaseRetired) {
-					p.wake(c)
-					return
-				}
-				p.node.WBOnSpace(try)
 			}
 			p.node.WBOnSpace(try)
-			return
 		}
-		if p.cfg.Model == config.WC {
-			// Weak consistency: the unlock is a synchronization access —
-			// wait for everything before it, then stall until it
-			// completes.
-			p.blockOn(c, stats.SyncStall)
-			p.node.WBOnDrained(func() {
-				if !p.node.WBEnqueue(lk.Addr(), true, func() {
-					lk.ReleaseRetired()
-					p.wake(c)
-				}) {
-					panic("cpu: write buffer full after drain fence")
-				}
-			})
-			return
-		}
-		// SC: stall until the unlock store retires. A secondary-owned
-		// unlock with nothing outstanding is a short no-switch stall.
-		short := p.cfg.CacheShared && p.node.WBEmpty() && p.node.PendingAcks() == 0 &&
-			p.node.ClassifyWrite(lk.Addr()) == memsys.ClassSecondary
-		if short {
-			start := p.k.Now()
-			if !p.node.WBEnqueue(lk.Addr(), true, func() {
-				lk.ReleaseRetired()
-				p.account(p.inlineStallBucket(stats.SyncStall), p.k.Now()-start)
-				p.exec(c)
-			}) {
-				panic("cpu: write buffer full under SC")
-			}
-			return
-		}
+		p.node.WBOnSpace(try)
+		return
+	}
+	if p.cfg.Model == config.WC {
+		// Weak consistency: the unlock is a synchronization access —
+		// wait for everything before it, then stall until it completes.
 		p.blockOn(c, stats.SyncStall)
-		if !p.node.WBEnqueue(lk.Addr(), true, func() {
-			lk.ReleaseRetired()
-			p.wake(c)
-		}) {
+		c.cont = contWake
+		p.node.WBOnDrained(func() {
+			if !p.node.WBEnqueueRelease(lk.Addr(), lk, sim.ActorTask(c)) {
+				panic("cpu: write buffer full after drain fence")
+			}
+		})
+		return
+	}
+	// SC: stall until the unlock store retires. A secondary-owned unlock
+	// with nothing outstanding is a short no-switch stall.
+	short := p.cfg.CacheShared && p.node.WBEmpty() && p.node.PendingAcks() == 0 &&
+		p.node.ClassifyWrite(lk.Addr()) == memsys.ClassSecondary
+	if short {
+		c.stallStart = p.k.Now()
+		c.stallCause = stats.SyncStall
+		c.cont = contInlineDone
+		if !p.node.WBEnqueueRelease(lk.Addr(), lk, sim.ActorTask(c)) {
 			panic("cpu: write buffer full under SC")
 		}
-	})
+		return
+	}
+	p.blockOn(c, stats.SyncStall)
+	c.cont = contWake
+	if !p.node.WBEnqueueRelease(lk.Addr(), lk, sim.ActorTask(c)) {
+		panic("cpu: write buffer full under SC")
+	}
 }
 
-func (p *Processor) doBarrier(c *Context) {
+func (p *Processor) issueBarrier(c *Context) {
 	b := c.cur.bar
-	p.st.Barriers++
-	p.busy(1)
-	p.k.After(1, func() {
-		p.blockOn(c, stats.SyncStall)
-		// The arrival increment is a release-marked write on the
-		// barrier counter: it waits for all previous writes and acks
-		// (the barrier's fence semantics) and serializes through the
-		// counter's home node.
-		var try func()
-		try = func() {
-			if p.node.WBEnqueue(b.CounterAddr(), true, func() {
-				b.ArriveRetired(p.node, func() { p.wake(c) })
-			}) {
-				return
-			}
-			p.node.WBOnSpace(try)
+	p.blockOn(c, stats.SyncStall)
+	// The arrival increment is a release-marked write on the barrier
+	// counter: it waits for all previous writes and acks (the barrier's
+	// fence semantics) and serializes through the counter's home node.
+	var try func()
+	try = func() {
+		if p.node.WBEnqueueTask(b.CounterAddr(), true, sim.FuncTask(c.barrierFn)) {
+			return
 		}
-		try()
-	})
+		p.node.WBOnSpace(try)
+	}
+	try()
 }

@@ -126,6 +126,7 @@ type Result struct {
 	Procs       []*stats.Proc
 	SharedBytes uint64
 	Events      uint64
+	Kernel      sim.Stats
 }
 
 // Run executes the application to completion and returns its result.
@@ -214,6 +215,7 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		Procs:       m.sts,
 		SharedBytes: m.alloc.TotalBytes(),
 		Events:      m.k.Events(),
+		Kernel:      m.k.KernelStats(),
 	}, nil
 }
 

@@ -64,6 +64,47 @@ func TestComputeOnlyElapsed(t *testing.T) {
 	}
 }
 
+// Regression: the Range helpers compute the last line as LineOf(a+bytes-1),
+// which underflowed (wrapping mem.Addr) when bytes <= 0. An empty or
+// negative range must be a no-op, not a walk over the whole address space.
+func TestEnvRangeEmptyBytesIsNoOp(t *testing.T) {
+	var a mem.Addr
+	app := &testApp{
+		name: "emptyrange",
+		setup: func(m *Machine) error {
+			a = m.Alloc(mem.LineSize)
+			return nil
+		},
+		worker: func(e *cpu.Env, pid, n int) {
+			if pid != 0 {
+				return
+			}
+			for _, bytes := range []int{0, -1, -64} {
+				e.ReadRange(a, bytes)
+				e.WriteRange(a, bytes)
+				e.PrefetchRange(a, bytes, false)
+				e.PrefetchRange(a, bytes, true)
+				// Address 0 is the worst case: 0 + bytes - 1 wraps.
+				e.ReadRange(0, bytes)
+			}
+			e.Compute(10)
+		},
+	}
+	res := mustRun(t, smallCfg(func(c *config.Config) { c.Prefetch = true }), app)
+	if got := res.SharedReads(); got != 0 {
+		t.Errorf("SharedReads = %d, want 0 (empty ranges must not issue reads)", got)
+	}
+	if got := res.SharedWrites(); got != 0 {
+		t.Errorf("SharedWrites = %d, want 0", got)
+	}
+	if got := res.Prefetches(); got != 0 {
+		t.Errorf("Prefetches = %d, want 0", got)
+	}
+	if res.Elapsed != 10 {
+		t.Errorf("elapsed = %d, want 10 (only the Compute)", res.Elapsed)
+	}
+}
+
 // Table 1 end-to-end through the processor (includes the 1-cycle issue).
 func TestEnvReadLatenciesMatchTable1(t *testing.T) {
 	var local, remote mem.Addr

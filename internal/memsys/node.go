@@ -49,12 +49,19 @@ const (
 // cache's miss-status holding register). At most one transaction per line
 // per node is in flight; later demands merge as waiters and protocol
 // messages that arrive early queue until the fill completes.
+//
+// The mshr is a sim.Actor: it carries its own transaction through the bus,
+// network, directory and fill stages (see the stage machine in trans.go),
+// so a miss schedules no closures on its critical path.
 type mshr struct {
+	n           *Node    // requesting node
+	a           mem.Addr // requested address
 	line        mem.Line
 	kind        mshrKind
 	excl        bool // completes with ownership (Dirty install)
+	stage       mshrStage
 	started     sim.Time
-	waiters     []func()
+	waiters     []sim.Task
 	queuedMsgs  []func()
 	invalidated bool // an invalidation arrived while in flight
 }
@@ -62,8 +69,41 @@ type mshr struct {
 // victimEntry is a dirty line evicted from the secondary cache whose
 // writeback has not yet been acknowledged by the home node. The data is
 // still available here, so forwarded requests can be serviced from it.
+// It is a sim.Actor carrying its own writeback transaction to the home
+// and back.
 type victimEntry struct {
+	n       *Node
+	line    mem.Line
+	stage   vbStage
 	waiters []func() // local accesses waiting for the writeback to clear
+}
+
+// vbStage is the writeback transaction's next step when its event fires.
+type vbStage uint8
+
+const (
+	vbToHome vbStage = iota // node bus granted: send to the home
+	vbAtHome                // delivered at the home: queue for the controller
+	vbDir                   // memory/directory controller granted
+	vbAcked                 // home's acknowledgement delivered back
+)
+
+// Act implements sim.Actor.
+func (v *victimEntry) Act() {
+	switch v.stage {
+	case vbToHome:
+		h := v.n.home(mem.AddrOf(v.line))
+		v.stage = vbAtHome
+		v.n.sendTask(h, v.n.lat().Wire, sim.ActorTask(v))
+	case vbAtHome:
+		h := v.n.home(mem.AddrOf(v.line))
+		v.stage = vbDir
+		h.memc.AcquireActor(sim.Time(h.lat().MemHold), v)
+	case vbDir:
+		v.n.home(mem.AddrOf(v.line)).dirWriteback(v)
+	case vbAcked:
+		v.n.writebackAcked(v)
+	}
 }
 
 // Class is the pre-classification of an access, used by the processor to
@@ -114,6 +154,17 @@ type Node struct {
 	wb   *writeBuffer
 	pf   *prefetchBuffer
 	mesh *Mesh // optional 2-D mesh interconnect (nil = direct network)
+
+	// Free lists for the transient transaction records on the hot paths.
+	// They are per-node (per-kernel), matching the kernel's single-threaded
+	// discipline — the runner simulates many machines concurrently, so
+	// package-level pools would race.
+	msgs         sim.Pool[netMsg]
+	mshrPool     sim.Pool[mshr]
+	secFills     sim.Pool[secFill]
+	uncachedPool sim.Pool[uncachedOp]
+	invals       sim.Pool[invalMsg]
+	victimPool   sim.Pool[victimEntry]
 }
 
 // NewNode constructs node id. Call Connect with the full node slice before
@@ -167,27 +218,70 @@ func (n *Node) entry(l mem.Line) *dirEntry {
 	return e
 }
 
+// netMsg is one in-flight protocol message on the direct network: an Actor
+// that walks itself through NI-out occupancy, wire latency and NI-in
+// occupancy, then runs its delivery task.
+type netMsg struct {
+	n     *Node // sender
+	to    *Node
+	wire  int
+	stage msgStage
+	done  sim.Task
+}
+
+// msgStage is the message's next step when its event fires.
+type msgStage uint8
+
+const (
+	msgPostOut  msgStage = iota // NI-out granted: traverse the wire
+	msgPostWire                 // wire traversed: queue at receiver's NI-in
+	msgDeliver                  // NI-in granted: deliver
+)
+
+// Act implements sim.Actor.
+func (m *netMsg) Act() {
+	switch m.stage {
+	case msgPostOut:
+		m.stage = msgPostWire
+		m.n.k.AfterActor(sim.Time(m.wire), m)
+	case msgPostWire:
+		m.stage = msgDeliver
+		m.to.niIn.AcquireActor(sim.Time(m.n.lat().NIHold), m)
+	case msgDeliver:
+		d := m.done
+		m.done = sim.Task{}
+		m.n.msgs.Put(m)
+		d.Run()
+	}
+}
+
 // send models a protocol message from node n to node to: NI-out occupancy,
 // wire latency, NI-in occupancy, then fn at delivery. Messages between a
 // node and itself take a short fixed local delay instead.
 func (n *Node) send(to *Node, wire int, fn func()) {
+	n.sendTask(to, wire, sim.FuncTask(fn))
+}
+
+// sendTask is send with a Task delivery (allocation-free when the Task
+// wraps an Actor). The mesh interconnect (an ablation) keeps the closure
+// route.
+func (n *Node) sendTask(to *Node, wire int, done sim.Task) {
 	if to == n {
-		n.k.After(2, fn)
+		n.k.AfterTask(2, done)
 		return
 	}
 	if n.mesh != nil {
 		n.niOut.Acquire(sim.Time(n.lat().NIHold), func() {
 			n.mesh.Route(n.id, to.id, func() {
-				to.niIn.Acquire(sim.Time(n.lat().NIHold), fn)
+				to.niIn.AcquireTask(sim.Time(n.lat().NIHold), done)
 			})
 		})
 		return
 	}
-	n.niOut.Acquire(sim.Time(n.lat().NIHold), func() {
-		n.k.After(sim.Time(wire), func() {
-			to.niIn.Acquire(sim.Time(n.lat().NIHold), fn)
-		})
-	})
+	m := n.msgs.Get()
+	m.n, m.to, m.wire, m.done = n, to, wire, done
+	m.stage = msgPostOut
+	n.niOut.AcquireActor(sim.Time(n.lat().NIHold), m)
 }
 
 // hopCycles is the no-contention cost of one full network hop.

@@ -22,12 +22,133 @@ import (
 //
 // Contention adds queueing at the bus, memory/directory controller and
 // network-interface resources along each path.
+//
+// Each transaction is carried by a pooled Actor record (mshr, secFill,
+// invalMsg, victimEntry, uncachedOp) that walks itself through the stages
+// above, so the steady-state protocol paths schedule no closures and
+// allocate nothing.
+
+// mshrStage is the miss transaction's next step when its event fires.
+type mshrStage uint8
+
+const (
+	msIssue    mshrStage = iota // cache lookup done: arbitrate for the bus
+	msToHome                    // bus granted: head for the home directory
+	msAtHome                    // delivered at the home: queue for the controller
+	msDir                       // controller granted: directory action
+	msFill                      // data/grant reply arrived at the requester
+	msFillPrim                  // secondary filled: fill the primary
+	msComplete                  // transaction tail elapsed: complete
+)
+
+// write reports whether the transaction requests ownership at the
+// directory (the ExclusiveGrant ablation can set excl on reads, so this
+// keys off the kind, not excl).
+func (m *mshr) write() bool { return m.kind == mshrWrite || m.kind == mshrPrefetchExcl }
+
+// Act implements sim.Actor: the miss transaction's stage machine.
+func (m *mshr) Act() {
+	switch m.stage {
+	case msIssue:
+		m.issue()
+	case msToHome:
+		h := m.n.home(m.a)
+		if h == m.n {
+			m.stage = msDir
+			h.memc.AcquireActor(sim.Time(h.lat().MemHold), m)
+			return
+		}
+		m.stage = msAtHome
+		m.n.sendTask(h, m.n.lat().Wire, sim.ActorTask(m))
+	case msAtHome:
+		h := m.n.home(m.a)
+		m.stage = msDir
+		h.memc.AcquireActor(sim.Time(h.lat().MemHold), m)
+	case msDir:
+		h := m.n.home(m.a)
+		if m.write() {
+			h.dirWrite(m.a, m.n, m)
+		} else {
+			h.dirRead(m.a, m.n, m)
+		}
+	case msFill:
+		m.n.finishFill(m)
+	case msFillPrim:
+		lat := m.n.lat()
+		isPF := m.kind == mshrPrefetch || m.kind == mshrPrefetchExcl
+		m.n.lockPrimary(m.n.k.Now()+sim.Time(lat.FillPrim), isPF)
+		m.stage = msComplete
+		m.n.k.AfterActor(sim.Time(lat.FillPrim), m)
+	case msComplete:
+		m.n.completeFill(m)
+	}
+}
+
+// issue takes the miss onto the node bus (the prefetch buffer calls this
+// directly, having already paid its check latency).
+func (m *mshr) issue() {
+	m.stage = msToHome
+	m.n.bus.AcquireActor(sim.Time(m.n.lat().BusHold), m)
+}
+
+// newMSHR allocates a miss record from the node's free list.
+func (n *Node) newMSHR(a mem.Addr, kind mshrKind, excl bool) *mshr {
+	m := n.mshrPool.Get()
+	m.n, m.a, m.line = n, a, mem.LineOf(a)
+	m.kind, m.excl = kind, excl
+	m.invalidated = false
+	m.started = n.k.Now()
+	return m
+}
+
+// secFill carries a secondary-cache read hit through the lookup and
+// primary-fill stages.
+type secFill struct {
+	n     *Node
+	line  mem.Line
+	stage sfStage
+	done  sim.Task
+}
+
+// sfStage is the secondary fill's next step when its event fires.
+type sfStage uint8
+
+const (
+	sfLock    sfStage = iota // lookup done: lock the primary port for the fill
+	sfInstall                // fill done: install and complete
+)
+
+// Act implements sim.Actor.
+func (s *secFill) Act() {
+	n := s.n
+	switch s.stage {
+	case sfLock:
+		fill := sim.Time(n.lat().FillPrim)
+		n.lockPrimary(n.k.Now()+fill, false)
+		s.stage = sfInstall
+		n.k.AfterActor(fill, s)
+	case sfInstall:
+		// The line may have been invalidated or evicted from the
+		// secondary while this fill was in flight; keep inclusion by
+		// skipping the primary install then.
+		if n.sec.State(s.line) != Invalid {
+			n.prim.Install(s.line)
+		}
+		d := s.done
+		s.done = sim.Task{}
+		n.secFills.Put(s)
+		d.Run()
+	}
+}
 
 // Read performs a demand read of shared data that missed the primary
 // cache; done runs when the read completes. The caller (the processor)
 // accounts the 1-cycle issue itself and must not call this for primary
 // hits.
-func (n *Node) Read(a mem.Addr, done func()) {
+func (n *Node) Read(a mem.Addr, done func()) { n.ReadTask(a, sim.FuncTask(done)) }
+
+// ReadTask is Read with a Task completion (allocation-free for Actors).
+func (n *Node) ReadTask(a mem.Addr, done sim.Task) {
 	if !n.cfg.CacheShared {
 		n.uncachedRead(a, done)
 		return
@@ -36,27 +157,18 @@ func (n *Node) Read(a mem.Addr, done func()) {
 	if n.prim.Present(l) {
 		panic("memsys: Read called for a primary-cache hit")
 	}
-	lat := n.lat()
 	if n.sec.State(l) != Invalid {
 		// Secondary hit: fill the primary.
-		n.k.After(sim.Time(lat.SecLookup), func() {
-			n.lockPrimary(n.k.Now()+sim.Time(lat.FillPrim), false)
-			n.k.After(sim.Time(lat.FillPrim), func() {
-				// The line may have been invalidated or evicted from
-				// the secondary while this fill was in flight; keep
-				// inclusion by skipping the primary install then.
-				if n.sec.State(l) != Invalid {
-					n.prim.Install(l)
-				}
-				done()
-			})
-		})
+		s := n.secFills.Get()
+		s.n, s.line, s.done = n, l, done
+		s.stage = sfLock
+		n.k.AfterActor(sim.Time(n.lat().SecLookup), s)
 		return
 	}
 	if v, ok := n.victims[l]; ok {
 		// The line is in the writeback buffer on its way out; wait for
 		// the home to acknowledge, then retry.
-		v.waiters = append(v.waiters, func() { n.Read(a, done) })
+		v.waiters = append(v.waiters, func() { n.ReadTask(a, done) })
 		return
 	}
 	if m, ok := n.mshrs[l]; ok {
@@ -67,10 +179,11 @@ func (n *Node) Read(a mem.Addr, done func()) {
 		return
 	}
 	n.st.ReadMisses++
-	m := &mshr{line: l, kind: mshrRead, started: n.k.Now()}
+	m := n.newMSHR(a, mshrRead, false)
 	m.waiters = append(m.waiters, done)
 	n.mshrs[l] = m
-	n.k.After(sim.Time(lat.SecLookup), func() { n.issueRead(a, m) })
+	m.stage = msIssue
+	n.k.AfterActor(sim.Time(n.lat().SecLookup), m)
 }
 
 // AcquireOwnership obtains exclusive ownership of the line containing a
@@ -78,19 +191,22 @@ func (n *Node) Read(a mem.Addr, done func()) {
 // ownership is granted — the write's retirement point per Table 1, which
 // does not include invalidation acknowledgements.
 func (n *Node) AcquireOwnership(a mem.Addr, done func()) {
+	n.acquireOwnTask(a, sim.FuncTask(done))
+}
+
+func (n *Node) acquireOwnTask(a mem.Addr, done sim.Task) {
 	if !n.cfg.CacheShared {
 		n.uncachedWrite(a, done)
 		return
 	}
 	l := mem.LineOf(a)
-	lat := n.lat()
 	if n.sec.State(l) == Dirty {
 		n.st.WriteOwnedHit++
-		n.k.After(sim.Time(lat.SecCheckWrite), done)
+		n.k.AfterTask(sim.Time(n.lat().SecCheckWrite), done)
 		return
 	}
 	if v, ok := n.victims[l]; ok {
-		v.waiters = append(v.waiters, func() { n.AcquireOwnership(a, done) })
+		v.waiters = append(v.waiters, func() { n.acquireOwnTask(a, done) })
 		return
 	}
 	if m, ok := n.mshrs[l]; ok {
@@ -100,44 +216,15 @@ func (n *Node) AcquireOwnership(a mem.Addr, done func()) {
 		// Wait for the in-flight fill, then reclassify: the fill may
 		// deliver ownership (write/pf-exclusive) or only a shared copy
 		// (then this becomes an upgrade).
-		m.waiters = append(m.waiters, func() { n.AcquireOwnership(a, done) })
+		m.waiters = append(m.waiters, sim.FuncTask(func() { n.acquireOwnTask(a, done) }))
 		return
 	}
 	n.st.WriteMisses++
-	m := &mshr{line: l, kind: mshrWrite, excl: true, started: n.k.Now()}
+	m := n.newMSHR(a, mshrWrite, true)
 	m.waiters = append(m.waiters, done)
 	n.mshrs[l] = m
-	n.k.After(sim.Time(lat.SecCheckWrite), func() { n.issueWrite(a, m) })
-}
-
-// issueRead takes a read miss onto the bus and to the home directory.
-func (n *Node) issueRead(a mem.Addr, m *mshr) {
-	lat := n.lat()
-	n.bus.Acquire(sim.Time(lat.BusHold), func() {
-		h := n.home(a)
-		if h == n {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirRead(a, n, m) })
-			return
-		}
-		n.send(h, lat.Wire, func() {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirRead(a, n, m) })
-		})
-	})
-}
-
-// issueWrite takes an ownership request onto the bus and to the home.
-func (n *Node) issueWrite(a mem.Addr, m *mshr) {
-	lat := n.lat()
-	n.bus.Acquire(sim.Time(lat.BusHold), func() {
-		h := n.home(a)
-		if h == n {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirWrite(a, n, m) })
-			return
-		}
-		n.send(h, lat.Wire, func() {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirWrite(a, n, m) })
-		})
-	})
+	m.stage = msIssue
+	n.k.AfterActor(sim.Time(n.lat().SecCheckWrite), m)
 }
 
 // dirRead is the home directory's handling of a read request. Runs at the
@@ -147,7 +234,7 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 	e := h.entry(l)
 	if e.busy {
 		e.pending = append(e.pending, func() {
-			h.memc.Acquire(sim.Time(h.lat().MemHold), func() { h.dirRead(a, req, m) })
+			h.memc.AcquireActor(sim.Time(h.lat().MemHold), m)
 		})
 		return
 	}
@@ -162,15 +249,15 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 			e.owner = req.id
 			e.sharers = 0
 			m.excl = true
-			h.reply(req, func() { req.finishFill(m) })
+			h.replyFill(req, m)
 			return
 		}
 		e.state = DirShared
 		e.sharers = 1 << uint(req.id)
-		h.reply(req, func() { req.finishFill(m) })
+		h.replyFill(req, m)
 	case DirShared:
 		e.sharers |= 1 << uint(req.id)
-		h.reply(req, func() { req.finishFill(m) })
+		h.replyFill(req, m)
 	case DirDirty:
 		if e.owner == req.id {
 			panic(fmt.Sprintf("memsys: node %d read-missed a line the directory says it owns (line %#x)", req.id, l))
@@ -189,7 +276,7 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 	e := h.entry(l)
 	if e.busy {
 		e.pending = append(e.pending, func() {
-			h.memc.Acquire(sim.Time(h.lat().MemHold), func() { h.dirWrite(a, req, m) })
+			h.memc.AcquireActor(sim.Time(h.lat().MemHold), m)
 		})
 		return
 	}
@@ -198,7 +285,7 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		e.state = DirDirty
 		e.owner = req.id
 		e.sharers = 0
-		h.reply(req, func() { req.finishFill(m) })
+		h.replyFill(req, m)
 	case DirShared:
 		// Invalidate every sharer except the requester; acks flow
 		// directly to the requester (DASH style).
@@ -207,14 +294,17 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 			if e.sharers&(1<<uint(id)) != 0 && id != req.id {
 				count++
 				sharer := h.nodes[id]
-				h.send(sharer, h.lat().Wire, func() { sharer.handleInval(l, req) })
+				im := sharer.invals.Get()
+				im.n, im.req, im.line = sharer, req, l
+				im.stage = invArrive
+				h.sendTask(sharer, h.lat().Wire, sim.ActorTask(im))
 			}
 		}
 		e.state = DirDirty
 		e.owner = req.id
 		e.sharers = 0
 		req.addAcks(count)
-		h.reply(req, func() { req.finishFill(m) })
+		h.replyFill(req, m)
 	case DirDirty:
 		if e.owner == req.id {
 			panic(fmt.Sprintf("memsys: node %d write-missed a line the directory says it owns (line %#x)", req.id, l))
@@ -226,13 +316,15 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 	}
 }
 
-// reply models the data/grant reply from home to requester.
-func (h *Node) reply(req *Node, fn func()) {
+// replyFill models the data/grant reply from home to requester; on
+// delivery the mshr continues with the fill tail.
+func (h *Node) replyFill(req *Node, m *mshr) {
+	m.stage = msFill
 	if h == req {
-		h.k.After(0, fn)
+		h.k.AfterActor(0, m)
 		return
 	}
-	h.send(req, h.lat().Wire, fn)
+	h.sendTask(req, h.lat().Wire, sim.ActorTask(m))
 }
 
 // serveForward handles a request forwarded to this node as the recorded
@@ -267,7 +359,8 @@ func (o *Node) serveForward(l mem.Line, req *Node, m *mshr, write bool) {
 			} else {
 				panic(fmt.Sprintf("memsys: forward for line %#x reached node %d which is not owner (state %v)", l, o.id, o.sec.State(l)))
 			}
-			o.send(req, lat.Wire, func() { req.finishFill(m) })
+			m.stage = msFill
+			o.sendTask(req, lat.Wire, sim.ActorTask(m))
 			// Completion to home: carries the sharing writeback (read)
 			// or the ownership-transfer notice (write) and unblocks the
 			// directory entry.
@@ -293,18 +386,41 @@ func (h *Node) dirUnbusy(l mem.Line) {
 	}
 }
 
-// handleInval applies an invalidation at a sharer and acknowledges
-// directly to the requesting writer.
-func (n *Node) handleInval(l mem.Line, req *Node) {
-	lat := n.lat()
-	n.bus.Acquire(sim.Time(lat.InvalApply), func() {
+// invalMsg carries one invalidation from the home to a sharer and the
+// acknowledgement from the sharer to the requesting writer.
+type invalMsg struct {
+	n     *Node // the sharer being invalidated
+	req   *Node // the writer awaiting the ack
+	line  mem.Line
+	stage invStage
+}
+
+// invStage is the invalidation's next step when its event fires.
+type invStage uint8
+
+const (
+	invArrive invStage = iota // delivered at the sharer: arbitrate its bus
+	invApply                  // bus granted: apply the invalidation, send ack
+	invAck                    // ack delivered at the writer
+)
+
+// Act implements sim.Actor.
+func (im *invalMsg) Act() {
+	n := im.n
+	switch im.stage {
+	case invArrive:
+		im.stage = invApply
+		n.bus.AcquireActor(sim.Time(n.lat().InvalApply), im)
+	case invApply:
+		l := im.line
 		if n.sec.State(l) == Dirty {
 			// Stale invalidation: it was sent while this node held a
 			// shared copy, but the node's own upgrade — serialized at
 			// the home *after* the invalidating write — completed while
 			// the invalidation waited for the bus. The dirty copy is
 			// the newer incarnation; acknowledge without invalidating.
-			n.send(req, lat.Wire, func() { req.ackArrived() })
+			im.stage = invAck
+			n.sendTask(im.req, n.lat().Wire, sim.ActorTask(im))
 			return
 		}
 		if m, ok := n.mshrs[l]; ok && !m.excl {
@@ -314,8 +430,13 @@ func (n *Node) handleInval(l mem.Line, req *Node) {
 		}
 		n.sec.Invalidate(l)
 		n.prim.Invalidate(l)
-		n.send(req, lat.Wire, func() { req.ackArrived() })
-	})
+		im.stage = invAck
+		n.sendTask(im.req, n.lat().Wire, sim.ActorTask(im))
+	case invAck:
+		im.req.ackArrived()
+		im.req = nil
+		n.invals.Put(im)
+	}
 }
 
 // finishFill runs at the requester when the data/grant reply arrives and
@@ -324,14 +445,12 @@ func (n *Node) handleInval(l mem.Line, req *Node) {
 func (n *Node) finishFill(m *mshr) {
 	lat := n.lat()
 	if m.kind == mshrWrite {
-		n.k.After(sim.Time(lat.WriteGrant), func() { n.completeFill(m) })
+		m.stage = msComplete
+		n.k.AfterActor(sim.Time(lat.WriteGrant), m)
 		return
 	}
-	n.k.After(sim.Time(lat.FillSec), func() {
-		isPF := m.kind == mshrPrefetch || m.kind == mshrPrefetchExcl
-		n.lockPrimary(n.k.Now()+sim.Time(lat.FillPrim), isPF)
-		n.k.After(sim.Time(lat.FillPrim), func() { n.completeFill(m) })
-	})
+	m.stage = msFillPrim
+	n.k.AfterActor(sim.Time(lat.FillSec), m)
 }
 
 // completeFill installs the line, resolves the MSHR, wakes demand waiters
@@ -362,13 +481,19 @@ func (n *Node) completeFill(m *mshr) {
 	if m.kind == mshrRead {
 		n.st.ReadMissCycles += n.k.Now() - m.started
 	}
+	// Free-list discipline: unlink the record, run the callback lists by
+	// index (they may start new transactions, which draw fresh records —
+	// this one is not recycled until they are done), then clear and free.
 	delete(n.mshrs, l)
-	for _, w := range m.waiters {
-		w()
+	for i := 0; i < len(m.waiters); i++ {
+		m.waiters[i].Run()
 	}
-	for _, f := range m.queuedMsgs {
-		f()
+	for i := 0; i < len(m.queuedMsgs); i++ {
+		m.queuedMsgs[i]()
 	}
+	m.waiters = m.waiters[:0]
+	m.queuedMsgs = m.queuedMsgs[:0]
+	n.mshrPool.Put(m)
 }
 
 // startWriteback sends a dirty victim back to its home. The data stays in
@@ -377,22 +502,20 @@ func (n *Node) startWriteback(l mem.Line) {
 	if _, ok := n.victims[l]; ok {
 		panic(fmt.Sprintf("memsys: duplicate writeback for line %#x", l))
 	}
-	n.victims[l] = &victimEntry{}
-	lat := n.lat()
-	h := n.home(mem.AddrOf(l))
-	n.bus.Acquire(sim.Time(lat.BusHold), func() {
-		n.send(h, lat.Wire, func() {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() { h.dirWriteback(l, n) })
-		})
-	})
+	v := n.victimPool.Get()
+	v.n, v.line = n, l
+	n.victims[l] = v
+	v.stage = vbToHome
+	n.bus.AcquireActor(sim.Time(n.lat().BusHold), v)
 }
 
 // dirWriteback processes a dirty-victim writeback at the home.
-func (h *Node) dirWriteback(l mem.Line, from *Node) {
+func (h *Node) dirWriteback(v *victimEntry) {
+	l, from := v.line, v.n
 	e := h.entry(l)
 	if e.busy {
 		e.pending = append(e.pending, func() {
-			h.memc.Acquire(sim.Time(h.lat().MemHold), func() { h.dirWriteback(l, from) })
+			h.memc.AcquireActor(sim.Time(h.lat().MemHold), v)
 		})
 		return
 	}
@@ -407,78 +530,114 @@ func (h *Node) dirWriteback(l mem.Line, from *Node) {
 			e.state = DirUncached
 		}
 	}
-	h.send(from, h.lat().Wire, func() { from.writebackAcked(l) })
+	v.stage = vbAcked
+	h.sendTask(from, h.lat().Wire, sim.ActorTask(v))
 }
 
 // writebackAcked clears the victim buffer entry and retries accesses that
 // were waiting for the line to finish leaving.
-func (n *Node) writebackAcked(l mem.Line) {
-	v, ok := n.victims[l]
-	if !ok {
+func (n *Node) writebackAcked(v *victimEntry) {
+	l := v.line
+	if n.victims[l] != v {
 		panic(fmt.Sprintf("memsys: writeback ack for unknown line %#x", l))
 	}
 	delete(n.victims, l)
-	for _, w := range v.waiters {
-		w()
+	for i := 0; i < len(v.waiters); i++ {
+		v.waiters[i]()
+	}
+	v.waiters = v.waiters[:0]
+	n.victimPool.Put(v)
+}
+
+// uncachedOp carries a shared access when shared data is not cacheable
+// (the Figure 2 baseline): straight to the home memory, no fill.
+type uncachedOp struct {
+	n       *Node
+	home    *Node
+	tail    int
+	started sim.Time
+	read    bool
+	stage   ucStage
+	done    sim.Task
+}
+
+// ucStage is the uncached access's next step when its event fires.
+type ucStage uint8
+
+const (
+	ucPostBus ucStage = iota // node bus granted
+	ucAtHome                 // delivered at the (remote) home
+	ucPostMem                // memory controller granted
+	ucBack                   // reply delivered back at the requester
+	ucFinish                 // access tail elapsed: complete
+)
+
+// Act implements sim.Actor.
+func (u *uncachedOp) Act() {
+	n := u.n
+	switch u.stage {
+	case ucPostBus:
+		if u.home == n {
+			u.stage = ucPostMem
+			n.memc.AcquireActor(sim.Time(n.lat().MemHold), u)
+			return
+		}
+		u.stage = ucAtHome
+		n.sendTask(u.home, n.lat().Wire, sim.ActorTask(u))
+	case ucAtHome:
+		u.stage = ucPostMem
+		u.home.memc.AcquireActor(sim.Time(u.home.lat().MemHold), u)
+	case ucPostMem:
+		if u.home == n {
+			u.stage = ucFinish
+			n.k.AfterActor(sim.Time(u.tail), u)
+			return
+		}
+		u.stage = ucBack
+		u.home.sendTask(n, u.home.lat().Wire, sim.ActorTask(u))
+	case ucBack:
+		u.stage = ucFinish
+		n.k.AfterActor(sim.Time(u.tail), u)
+	case ucFinish:
+		if u.read {
+			n.st.ReadMissCycles += n.k.Now() - u.started
+		}
+		d := u.done
+		u.done = sim.Task{}
+		n.uncachedPool.Put(u)
+		d.Run()
 	}
 }
 
-// uncachedRead services a shared read when shared data is not cacheable
-// (the Figure 2 baseline): straight to the home memory, no fill.
-func (n *Node) uncachedRead(a mem.Addr, done func()) {
+// uncachedRead services a shared read without caching.
+func (n *Node) uncachedRead(a mem.Addr, done sim.Task) {
 	n.st.ReadMisses++
 	lat := n.lat()
-	h := n.home(a)
-	started := n.k.Now()
-	finish := func() {
-		n.st.ReadMissCycles += n.k.Now() - started
-		done()
+	u := n.uncachedPool.Get()
+	u.n, u.home, u.read, u.done = n, n.home(a), true, done
+	u.started = n.k.Now()
+	if u.home == n {
+		u.tail = clampNonNeg(lat.UncachedReadLocal - 1 - lat.BusHold - lat.MemHold)
+	} else {
+		u.tail = clampNonNeg(lat.UncachedReadRemote - 1 - lat.BusHold - 2*n.hopCycles() - lat.MemHold)
 	}
-	if h == n {
-		tail := clampNonNeg(lat.UncachedReadLocal - 1 - lat.BusHold - lat.MemHold)
-		n.bus.Acquire(sim.Time(lat.BusHold), func() {
-			n.memc.Acquire(sim.Time(lat.MemHold), func() {
-				n.k.After(sim.Time(tail), finish)
-			})
-		})
-		return
-	}
-	tail := clampNonNeg(lat.UncachedReadRemote - 1 - lat.BusHold - 2*n.hopCycles() - lat.MemHold)
-	n.bus.Acquire(sim.Time(lat.BusHold), func() {
-		n.send(h, lat.Wire, func() {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() {
-				h.send(n, lat.Wire, func() {
-					n.k.After(sim.Time(tail), finish)
-				})
-			})
-		})
-	})
+	u.stage = ucPostBus
+	n.bus.AcquireActor(sim.Time(lat.BusHold), u)
 }
 
 // uncachedWrite retires a shared write to home memory without caching.
-func (n *Node) uncachedWrite(a mem.Addr, done func()) {
+func (n *Node) uncachedWrite(a mem.Addr, done sim.Task) {
 	n.st.WriteMisses++
 	lat := n.lat()
-	h := n.home(a)
-	if h == n {
-		tail := clampNonNeg(lat.UncachedWriteLocal - lat.BusHold - lat.MemHold)
-		n.bus.Acquire(sim.Time(lat.BusHold), func() {
-			n.memc.Acquire(sim.Time(lat.MemHold), func() {
-				n.k.After(sim.Time(tail), done)
-			})
-		})
-		return
+	u := n.uncachedPool.Get()
+	u.n, u.home, u.read, u.done = n, n.home(a), false, done
+	if u.home == n {
+		u.tail = clampNonNeg(lat.UncachedWriteLocal - lat.BusHold - lat.MemHold)
+	} else {
+		u.tail = clampNonNeg(lat.UncachedWriteRemote - lat.BusHold - n.hopCycles() - lat.MemHold - n.hopCycles())
 	}
-	tail := clampNonNeg(lat.UncachedWriteRemote - lat.BusHold - n.hopCycles() - lat.MemHold - n.hopCycles())
-	n.bus.Acquire(sim.Time(lat.BusHold), func() {
-		n.send(h, lat.Wire, func() {
-			h.memc.Acquire(sim.Time(lat.MemHold), func() {
-				h.send(n, lat.Wire, func() {
-					n.k.After(sim.Time(tail), done)
-				})
-			})
-		})
-	})
+	u.stage = ucPostBus
+	n.bus.AcquireActor(sim.Time(lat.BusHold), u)
 }
 
 func clampNonNeg(v int) int {

@@ -6,15 +6,30 @@ import (
 	"latsim/internal/sim"
 )
 
+// Releaser is a synchronization object whose release store is buffered: it
+// is notified when that store retires from the write buffer. *msync.Lock
+// implements it. Using an interface here (rather than a closure) lets the
+// processor enqueue an unlock without allocating even though the releasing
+// context moves on before the store retires.
+type Releaser interface {
+	ReleaseRetired()
+}
+
 // wbEntry is one write awaiting retirement from the write buffer. A write
-// retires when exclusive ownership of its line is acquired (Table 1).
+// retires when exclusive ownership of its line is acquired (Table 1). The
+// entry is a sim.Actor: the ownership grant re-enters it directly.
 type wbEntry struct {
+	w        *writeBuffer
 	addr     mem.Addr
 	line     mem.Line
 	release  bool
 	issued   bool
-	onRetire []func()
+	rel      Releaser
+	onRetire []sim.Task
 }
+
+// Act implements sim.Actor: ownership of the line was acquired.
+func (e *wbEntry) Act() { e.w.retire(e) }
 
 // writeBuffer is the 16-entry processor write buffer. Entries occupy the
 // buffer from enqueue until their ownership transaction completes. Under
@@ -28,6 +43,7 @@ type writeBuffer struct {
 	releaseArmed bool // an onAllAcked callback for a blocked release is registered
 	spaceWaiters []func()
 	drainWaiters []func() // fences waiting for the buffer to empty
+	pool         sim.Pool[wbEntry]
 }
 
 func newWriteBuffer(n *Node) *writeBuffer { return &writeBuffer{n: n} }
@@ -37,7 +53,22 @@ func newWriteBuffer(n *Node) *writeBuffer { return &writeBuffer{n: n} }
 // existing entry for the same line. Returns false if the buffer is full —
 // the processor must stall and retry via WBOnSpace.
 func (n *Node) WBEnqueue(a mem.Addr, release bool, onRetire func()) bool {
-	return n.wb.enqueue(a, release, onRetire)
+	var t sim.Task
+	if onRetire != nil {
+		t = sim.FuncTask(onRetire)
+	}
+	return n.wb.enqueue(a, release, nil, t)
+}
+
+// WBEnqueueTask is WBEnqueue with a Task completion.
+func (n *Node) WBEnqueueTask(a mem.Addr, release bool, onRetire sim.Task) bool {
+	return n.wb.enqueue(a, release, nil, onRetire)
+}
+
+// WBEnqueueRelease buffers a release store (an unlock): rel is notified
+// when the store retires, before any onRetire completion runs.
+func (n *Node) WBEnqueueRelease(a mem.Addr, rel Releaser, onRetire sim.Task) bool {
+	return n.wb.enqueue(a, true, rel, onRetire)
 }
 
 // WBOnSpace registers fn to run when a write-buffer slot frees.
@@ -57,12 +88,28 @@ func (n *Node) WBPendingLine(a mem.Addr) bool {
 	return false
 }
 
+// WBOnLineRetireTask runs the task when the first write to a's line now in
+// the buffer retires. The caller must re-check WBPendingLine (another
+// write to the line may have been buffered meanwhile) and re-register if
+// needed; WBOnLineRetire wraps that loop for closure callers. Runs the
+// task immediately if no write to the line is buffered.
+func (n *Node) WBOnLineRetireTask(a mem.Addr, t sim.Task) {
+	l := mem.LineOf(a)
+	for _, e := range n.wb.entries {
+		if e.line == l {
+			e.onRetire = append(e.onRetire, t)
+			return
+		}
+	}
+	t.Run()
+}
+
 // WBOnLineRetire runs fn once no write to a's line remains in the buffer.
 func (n *Node) WBOnLineRetire(a mem.Addr, fn func()) {
 	l := mem.LineOf(a)
 	for _, e := range n.wb.entries {
 		if e.line == l {
-			e.onRetire = append(e.onRetire, func() { n.WBOnLineRetire(a, fn) })
+			e.onRetire = append(e.onRetire, sim.FuncTask(func() { n.WBOnLineRetire(a, fn) }))
 			return
 		}
 	}
@@ -83,12 +130,12 @@ func (n *Node) WBOnDrained(fn func()) {
 	n.wb.drainWaiters = append(n.wb.drainWaiters, fn)
 }
 
-func (w *writeBuffer) enqueue(a mem.Addr, release bool, onRetire func()) bool {
+func (w *writeBuffer) enqueue(a mem.Addr, release bool, rel Releaser, onRetire sim.Task) bool {
 	l := mem.LineOf(a)
 	if !release {
 		for _, e := range w.entries {
 			if e.line == l && !e.release {
-				if onRetire != nil {
+				if !onRetire.Zero() {
 					e.onRetire = append(e.onRetire, onRetire)
 				}
 				return true
@@ -98,8 +145,12 @@ func (w *writeBuffer) enqueue(a mem.Addr, release bool, onRetire func()) bool {
 	if len(w.entries) >= w.n.cfg.WriteBufferDepth {
 		return false
 	}
-	e := &wbEntry{addr: a, line: l, release: release}
-	if onRetire != nil {
+	e := w.pool.Get()
+	e.w = w
+	e.addr, e.line = a, l
+	e.release, e.issued = release, false
+	e.rel = rel
+	if !onRetire.Zero() {
 		e.onRetire = append(e.onRetire, onRetire)
 	}
 	w.entries = append(w.entries, e)
@@ -143,8 +194,7 @@ func (w *writeBuffer) drain() {
 		}
 		e.issued = true
 		w.inflight++
-		entry := e
-		w.n.AcquireOwnership(e.addr, func() { w.retire(entry) })
+		w.n.acquireOwnTask(e.addr, sim.ActorTask(e))
 	}
 }
 
@@ -158,9 +208,17 @@ func (w *writeBuffer) retire(e *wbEntry) {
 			break
 		}
 	}
-	for _, fn := range e.onRetire {
-		fn()
+	// The release notification and retire tasks may enqueue new writes;
+	// the entry is unlinked already and recycled only after they run.
+	if e.rel != nil {
+		e.rel.ReleaseRetired()
 	}
+	for i := 0; i < len(e.onRetire); i++ {
+		e.onRetire[i].Run()
+	}
+	e.onRetire = e.onRetire[:0]
+	e.rel = nil
+	w.pool.Put(e)
 	if len(w.spaceWaiters) > 0 {
 		fn := w.spaceWaiters[0]
 		w.spaceWaiters = w.spaceWaiters[1:]
@@ -186,13 +244,24 @@ type pfEntry struct {
 // buffer so prefetches are not delayed behind writes (Section 5.1). The
 // head entry checks the secondary cache; if the line is already present
 // (or a transaction for it is in flight) the prefetch is discarded,
-// otherwise it issues onto the bus like a normal request.
+// otherwise it issues onto the bus like a normal request. The buffer is a
+// sim.Actor stepping through pop/check stages for its head entry.
 type prefetchBuffer struct {
 	n            *Node
 	queue        []pfEntry
 	draining     bool
+	cur          pfEntry
+	stage        pfStage
 	spaceWaiters []func()
 }
+
+// pfStage is the prefetch buffer's next step when its event fires.
+type pfStage uint8
+
+const (
+	pfPop   pfStage = iota // pop the head entry and start its cache check
+	pfCheck                // check done: discard or issue
+)
 
 func newPrefetchBuffer(n *Node) *prefetchBuffer { return &prefetchBuffer{n: n} }
 
@@ -220,47 +289,60 @@ func (p *prefetchBuffer) enqueue(a mem.Addr, excl bool) bool {
 	p.queue = append(p.queue, pfEntry{addr: a, excl: excl})
 	if !p.draining {
 		p.draining = true
-		p.n.k.After(0, p.step)
+		p.stage = pfPop
+		p.n.k.AfterActor(0, p)
 	}
 	return true
 }
 
-// step processes the head entry: a secondary-cache check, then either a
-// discard or a bus issue; the next entry follows after the check time.
+// Act implements sim.Actor.
+func (p *prefetchBuffer) Act() {
+	if p.stage == pfPop {
+		p.step()
+		return
+	}
+	p.process()
+}
+
+// step pops the head entry and starts its secondary-cache check; the next
+// entry follows after the check time.
 func (p *prefetchBuffer) step() {
 	if len(p.queue) == 0 {
 		p.draining = false
 		return
 	}
-	e := p.queue[0]
+	p.cur = p.queue[0]
 	p.queue = p.queue[1:]
 	if len(p.spaceWaiters) > 0 {
 		fn := p.spaceWaiters[0]
 		p.spaceWaiters = p.spaceWaiters[1:]
 		fn()
 	}
+	p.stage = pfCheck
+	p.n.k.AfterActor(sim.Time(p.n.lat().SecCheckWrite), p)
+}
+
+// process finishes the head entry's check: a discard if the line is
+// already present (or being fetched or evicted), a bus issue otherwise.
+func (p *prefetchBuffer) process() {
 	n := p.n
-	n.k.After(sim.Time(n.lat().SecCheckWrite), func() {
-		l := mem.LineOf(e.addr)
-		st := n.sec.State(l)
-		_, inFlight := n.mshrs[l]
-		_, leaving := n.victims[l]
-		useless := inFlight || leaving || st == Dirty || (st == Shared && !e.excl)
-		if useless {
-			n.st.PrefetchUseless++
-		} else {
-			kind := mshrPrefetch
-			if e.excl {
-				kind = mshrPrefetchExcl
-			}
-			m := &mshr{line: l, kind: kind, excl: e.excl, started: n.k.Now()}
-			n.mshrs[l] = m
-			if e.excl {
-				n.issueWrite(e.addr, m)
-			} else {
-				n.issueRead(e.addr, m)
-			}
+	e := p.cur
+	l := mem.LineOf(e.addr)
+	st := n.sec.State(l)
+	_, inFlight := n.mshrs[l]
+	_, leaving := n.victims[l]
+	useless := inFlight || leaving || st == Dirty || (st == Shared && !e.excl)
+	if useless {
+		n.st.PrefetchUseless++
+	} else {
+		kind := mshrPrefetch
+		if e.excl {
+			kind = mshrPrefetchExcl
 		}
-		p.step()
-	})
+		m := n.newMSHR(e.addr, kind, e.excl)
+		n.mshrs[l] = m
+		m.issue()
+	}
+	p.stage = pfPop
+	p.step()
 }

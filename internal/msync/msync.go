@@ -17,6 +17,7 @@ import (
 
 	"latsim/internal/mem"
 	"latsim/internal/memsys"
+	"latsim/internal/sim"
 )
 
 // waiter is a blocked acquirer: the node it runs on and its wakeup.
@@ -174,7 +175,7 @@ func (b *Barrier) Arrived() int { return b.arrived }
 // (spin reads hit the primary cache and cost nothing extra).
 func refetch(n *memsys.Node, a mem.Addr) {
 	if n.ClassifyRead(a) != memsys.ClassPrimary {
-		n.Read(a, func() {})
+		n.ReadTask(a, sim.Task{})
 	}
 }
 

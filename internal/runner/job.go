@@ -26,7 +26,7 @@ import (
 // Bump it whenever the simulator's timing semantics or the Result schema
 // change, so stale on-disk results are invalidated wholesale instead of
 // silently reused.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Job names one deterministic simulation: an application, a data-set
 // scale, an optional workload seed override (0 keeps the paper's seeds),

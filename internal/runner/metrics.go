@@ -19,6 +19,10 @@ type Metrics struct {
 	Failed    int64 // returned an error, panicked, or timed out
 	SimCycles uint64
 	WallTime  time.Duration
+
+	// Kernel-level counters summed over executed (non-cached) jobs.
+	SimEvents     uint64 // discrete events fired
+	AllocsAvoided uint64 // allocations the zero-allocation event paths saved
 }
 
 // Done is the number of jobs that have finished one way or another.
@@ -27,7 +31,7 @@ func (m Metrics) Done() int64 { return m.Executed + m.CacheHits + m.Failed }
 // String renders the one-line progress summary streamed to Trace.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"jobs: %d submitted (%d deduped), %d queued, %d running, %d simulated, %d cache hits, %d failed; %d sim cycles in %v",
+		"jobs: %d submitted (%d deduped), %d queued, %d running, %d simulated, %d cache hits, %d failed; %d sim cycles, %d events in %v",
 		m.Submitted, m.Deduped, m.Queued, m.Running, m.Executed,
-		m.CacheHits, m.Failed, m.SimCycles, m.WallTime.Round(time.Millisecond))
+		m.CacheHits, m.Failed, m.SimCycles, m.SimEvents, m.WallTime.Round(time.Millisecond))
 }

@@ -261,6 +261,8 @@ func (r *Runner) finish(t *Task, res *machine.Result, err error, hit bool, start
 		r.metrics.Executed++
 		if res != nil {
 			r.metrics.SimCycles += uint64(res.Elapsed)
+			r.metrics.SimEvents += res.Kernel.Fired
+			r.metrics.AllocsAvoided += res.Kernel.AllocsAvoided()
 		}
 	}
 	snap := r.metrics

@@ -1,0 +1,93 @@
+package sim
+
+import "testing"
+
+// The kernel microbenchmarks exercise the event queue in isolation so the
+// scheduling cost (ns/op and allocs/op) is visible without the rest of the
+// simulator. BENCH_kernel.json records their trajectory across PRs.
+
+// BenchmarkKernelScheduleFire schedules and fires one event per iteration
+// with a prebuilt callback: the steady-state cost of one event through the
+// queue.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the queue so slice growth is out of the measured region.
+	for i := 0; i < 64; i++ {
+		k.After(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(8, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelHeapChurn keeps a deep queue (1024 pending events) and
+// measures push+pop through it, the worst case for heap reordering.
+func BenchmarkKernelHeapChurn(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		// Spread timestamps so the heap actually reorders.
+		k.After(Time(i*7%255), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Time(i*13%255+1), fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelResource measures a Resource acquire/complete cycle, the
+// building block of every contention point in the memory system.
+func BenchmarkKernelResource(b *testing.B) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(2, fn)
+		k.Step()
+	}
+}
+
+// nopActor is a prebuilt Actor completion for the benchmarks below.
+type nopActor struct{}
+
+func (nopActor) Act() {}
+
+// BenchmarkKernelActorScheduleFire is ScheduleFire through the Actor path:
+// the event carries an interface pointer instead of a closure, the
+// scheduling pattern used by every hot model object after the refactor.
+func BenchmarkKernelActorScheduleFire(b *testing.B) {
+	k := NewKernel()
+	var a nopActor
+	for i := 0; i < 64; i++ {
+		k.AfterActor(Time(i), a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AfterActor(8, a)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelResourceActor measures the Resource cycle with an Actor
+// completion, the shape of bus/directory/memory occupancy in the node model.
+func BenchmarkKernelResourceActor(b *testing.B) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var a nopActor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AcquireActor(2, a)
+		k.Step()
+	}
+}

@@ -92,6 +92,98 @@ func TestKernelRunUntil(t *testing.T) {
 	}
 }
 
+func TestKernelRunUntilEmptyQueue(t *testing.T) {
+	// With nothing scheduled, RunUntil must still advance the clock to the
+	// deadline: RunUntil(t) means "simulate up to t", not "fire what's there".
+	k := NewKernel()
+	k.RunUntil(250)
+	if k.Now() != 250 {
+		t.Errorf("Now() = %d after RunUntil on empty queue, want 250", k.Now())
+	}
+	// A deadline already behind the clock must not move it backward.
+	k.RunUntil(100)
+	if k.Now() != 250 {
+		t.Errorf("Now() = %d after stale RunUntil, want 250", k.Now())
+	}
+	// Events scheduled after the jump still fire at their own times.
+	var at Time
+	k.After(10, func() { at = k.Now() })
+	k.RunUntil(300)
+	if at != 260 {
+		t.Errorf("event fired at %d, want 260", at)
+	}
+	if k.Now() != 300 {
+		t.Errorf("Now() = %d, want 300", k.Now())
+	}
+}
+
+type countActor struct {
+	fired int
+	at    []Time
+	k     *Kernel
+}
+
+func (a *countActor) Act() {
+	a.fired++
+	a.at = append(a.at, a.k.Now())
+}
+
+func TestKernelActorScheduling(t *testing.T) {
+	k := NewKernel()
+	a := &countActor{k: k}
+	k.AtActor(5, a)
+	k.AfterActor(12, a)
+	k.AtTask(20, ActorTask(a))
+	k.Run(nil)
+	if a.fired != 3 {
+		t.Fatalf("actor fired %d times, want 3", a.fired)
+	}
+	want := []Time{5, 12, 20}
+	for i := range want {
+		if a.at[i] != want[i] {
+			t.Errorf("actor firing %d at t=%d, want %d", i, a.at[i], want[i])
+		}
+	}
+	st := k.KernelStats()
+	if st.Fired != 3 || st.Scheduled != 3 || st.Actor != 3 {
+		t.Errorf("stats = %+v, want Fired=3 Scheduled=3 Actor=3", st)
+	}
+	if st.AllocsAvoided() != 6 {
+		t.Errorf("AllocsAvoided = %d, want 6", st.AllocsAvoided())
+	}
+}
+
+func TestKernelAdvanceTo(t *testing.T) {
+	k := NewKernel()
+	k.AdvanceTo(40)
+	if k.Now() != 40 {
+		t.Fatalf("Now() = %d, want 40", k.Now())
+	}
+	if st := k.KernelStats(); st.Advances != 1 {
+		t.Errorf("Advances = %d, want 1", st.Advances)
+	}
+	// Advancing to the current time is a no-op, not an extra advance.
+	k.AdvanceTo(40)
+	if st := k.KernelStats(); st.Advances != 1 {
+		t.Errorf("Advances = %d after no-op, want 1", st.Advances)
+	}
+	// Advancing past a pending event would fire it at the wrong time.
+	k.After(5, func() {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo past a pending event did not panic")
+			}
+		}()
+		k.AdvanceTo(50)
+	}()
+	// Advancing up to (not past) the pending event is legal.
+	k.AdvanceTo(45)
+	if next, ok := k.NextAt(); !ok || next != 45 {
+		t.Errorf("NextAt = %d,%v, want 45,true", next, ok)
+	}
+}
+
 func TestKernelStop(t *testing.T) {
 	k := NewKernel()
 	fired := 0
@@ -186,6 +278,37 @@ func TestResourceAcquireAt(t *testing.T) {
 	k.Run(nil)
 	if done[0] != 24 || done[1] != 28 {
 		t.Errorf("done = %v, want [24 28]", done)
+	}
+	// Wait accounting is relative to each request's own arrival time: the
+	// first request starts the moment it arrives (no wait); the second
+	// arrives at t=10 but cannot start until t=24, waiting 14 cycles.
+	if r.WaitCycles() != 14 {
+		t.Errorf("WaitCycles = %d, want 14", r.WaitCycles())
+	}
+	if r.BusyCycles() != 8 {
+		t.Errorf("BusyCycles = %d, want 8", r.BusyCycles())
+	}
+	if r.Requests() != 2 {
+		t.Errorf("Requests = %d, want 2", r.Requests())
+	}
+}
+
+func TestResourceAcquireAtBeforeNowClamps(t *testing.T) {
+	// An arrival time in the past is clamped to Now: the request cannot
+	// retroactively occupy the resource, and the wait it accrues is
+	// measured from Now, not from the stale arrival stamp.
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var end Time
+	k.At(50, func() {
+		end = r.AcquireAt(10, 4, nil)
+	})
+	k.Run(nil)
+	if end != 54 {
+		t.Errorf("completion = %d, want 54", end)
+	}
+	if r.WaitCycles() != 0 {
+		t.Errorf("WaitCycles = %d, want 0", r.WaitCycles())
 	}
 }
 

@@ -28,25 +28,32 @@ func NewResource(k *Kernel, name string) *Resource {
 // completion time. A zero hold passes through immediately (still FIFO
 // ordered after queued work).
 func (r *Resource) Acquire(hold Time, done func()) Time {
-	start := r.freeAt
-	if now := r.k.Now(); start < now {
-		start = now
-	}
-	r.waitCycles += start - r.k.Now()
-	r.busyCycles += hold
-	r.requests++
-	end := start + hold
-	r.freeAt = end
-	if done != nil {
-		r.k.At(end, done)
-	}
-	return end
+	return r.acquire(r.k.Now(), hold, Task{fn: done})
+}
+
+// AcquireActor is Acquire with an allocation-free completion.
+func (r *Resource) AcquireActor(hold Time, a Actor) Time {
+	return r.acquire(r.k.Now(), hold, Task{actor: a})
+}
+
+// AcquireTask is Acquire with a Task completion.
+func (r *Resource) AcquireTask(hold Time, done Task) Time {
+	return r.acquire(r.k.Now(), hold, done)
 }
 
 // AcquireAt is like Acquire but the request arrives at time at (>= Now),
 // modeling a request that reaches this resource later in a transaction
 // pipeline. It returns the completion time and schedules done then.
 func (r *Resource) AcquireAt(at Time, hold Time, done func()) Time {
+	return r.acquire(at, hold, Task{fn: done})
+}
+
+// AcquireAtTask is AcquireAt with a Task completion.
+func (r *Resource) AcquireAtTask(at Time, hold Time, done Task) Time {
+	return r.acquire(at, hold, done)
+}
+
+func (r *Resource) acquire(at, hold Time, done Task) Time {
 	if now := r.k.Now(); at < now {
 		at = now
 	}
@@ -59,8 +66,8 @@ func (r *Resource) AcquireAt(at Time, hold Time, done func()) Time {
 	r.requests++
 	end := start + hold
 	r.freeAt = end
-	if done != nil {
-		r.k.At(end, done)
+	if !done.Zero() {
+		r.k.AtTask(end, done)
 	}
 	return end
 }
