@@ -4,13 +4,15 @@
 // Usage:
 //
 //	figures [-scale small|paper] [-exp id[,id...]] [-jobs N]
-//	        [-cache-dir DIR] [-timeout D]
+//	        [-cache-dir DIR] [-timeout D] [-obs] [-obs-dir DIR]
 //
 // -exp takes one or more comma-separated experiment ids (or "all").
 // Independent simulations run in parallel on -jobs workers; -cache-dir
 // persists results on disk so a re-run only simulates what changed.
 // -scale paper uses the paper's exact data sets (slower); the default
-// small scale keeps the workload structure at reduced size.
+// small scale keeps the workload structure at reduced size. -obs records
+// observability data on every run and writes per-bar report + Chrome
+// trace artifacts for the figure experiments.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"latsim/internal/core"
+	"latsim/internal/obs"
 )
 
 // main delegates to realMain so deferred cleanups (profile flush, session
@@ -37,6 +40,8 @@ func realMain() int {
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = no persistence)")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout, e.g. 5m (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	obsFlag := flag.Bool("obs", false, "record observability data; write per-bar report + Chrome trace artifacts")
+	obsDir := flag.String("obs-dir", "", "directory for observability artifacts (implies -obs; default \"obs\")")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -67,8 +72,39 @@ func realMain() int {
 	if *verbose {
 		s.Trace = os.Stderr
 	}
+	if *obsDir != "" {
+		*obsFlag = true
+	} else if *obsFlag {
+		*obsDir = "obs"
+	}
+	if *obsFlag {
+		s.Obs = &obs.Options{}
+	}
+
+	// writeObs emits the per-bar observability artifacts of a figure.
+	writeObs := func(f *core.Figure) error {
+		if !*obsFlag {
+			return nil
+		}
+		for _, app := range f.Apps {
+			for _, bar := range f.Bars[app] {
+				if bar.Result == nil || bar.Result.Obs == nil {
+					continue
+				}
+				name := fmt.Sprintf("%s_%s_%s", f.ID, app, bar.Label)
+				if _, _, err := bar.Result.Obs.WriteArtifacts(*obsDir, name); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "figures: wrote %s observability artifacts to %s\n", f.ID, *obsDir)
+		return nil
+	}
 
 	render := func(f *core.Figure) error {
+		if err := writeObs(f); err != nil {
+			return err
+		}
 		if *asJSON {
 			b, err := f.JSON()
 			if err != nil {

@@ -5,10 +5,13 @@
 //
 //	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
 //	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
-//	       [-timeout D] [-seed N]
+//	       [-timeout D] [-seed N] [-obs] [-obs-dir DIR] [-obs-interval N]
 //
 // -timeout bounds the run's wall-clock time: the simulation is canceled
-// through the job engine's context when it expires.
+// through the job engine's context when it expires. -obs enables the
+// observability recorder and writes <dir>/<run>.report.json plus a
+// Perfetto-loadable <run>.trace.json (see the README's Observability
+// section).
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"latsim/internal/config"
 	"latsim/internal/core"
+	"latsim/internal/obs"
 	"latsim/internal/stats"
 )
 
@@ -35,6 +39,9 @@ func main() {
 	meshNet := flag.Bool("mesh", false, "use the 2-D wormhole mesh interconnect instead of the direct network")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run, e.g. 30s (0 = unbounded)")
 	seed := flag.Int64("seed", 0, "workload seed override (0 = the paper's seeds)")
+	obsFlag := flag.Bool("obs", false, "record observability data and write report + Chrome trace artifacts")
+	obsDir := flag.String("obs-dir", "", "directory for observability artifacts (implies -obs; default \"obs\")")
+	obsInterval := flag.Uint64("obs-interval", 0, "observability sampling interval in cycles (0 = default)")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -65,9 +72,21 @@ func main() {
 		cfg = cfg.FullCaches()
 	}
 	cfg.MeshNetwork = *meshNet
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "latsim:", err)
+		os.Exit(2)
+	}
 
 	s := core.NewSession(scale)
 	s.Seed = *seed
+	if *obsDir != "" {
+		*obsFlag = true
+	} else if *obsFlag {
+		*obsDir = "obs"
+	}
+	if *obsFlag {
+		s.Obs = &obs.Options{Interval: *obsInterval}
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -100,4 +119,16 @@ func main() {
 	fmt.Printf("  shared data:        %d KB\n", res.SharedBytes/1024)
 	fmt.Printf("  median run length:  %d cycles\n", res.MedianRunLength())
 	fmt.Printf("  sim events:         %d\n", res.Events)
+
+	if res.Obs != nil {
+		res.Obs.Summary(os.Stdout)
+		name := fmt.Sprintf("%s_%s", res.AppName, cfg.Name())
+		repPath, trPath, err := res.Obs.WriteArtifacts(*obsDir, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  obs report:         %s\n", repPath)
+		fmt.Printf("  obs trace:          %s (open at ui.perfetto.dev)\n", trPath)
+	}
 }

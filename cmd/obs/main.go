@@ -1,0 +1,127 @@
+// Command obs runs a benchmark with the observability recorder enabled
+// and writes the report + Chrome trace artifacts, or re-renders artifacts
+// from a previously saved report without re-simulating.
+//
+// Run and export:
+//
+//	obs -app MP3D -model RC -contexts 4 -dir obs
+//
+// Re-render from a saved report (print the summary and re-emit the
+// Perfetto trace next to it):
+//
+//	obs -from obs/MP3D_RC-4ctx.report.json
+//
+// The trace artifact loads at ui.perfetto.dev (or chrome://tracing): one
+// track per processor showing the execution-time bucket each cycle is
+// charged to, plus counter tracks for write-buffer depth, context
+// switches, directory traffic, kernel events and mesh hops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"latsim/internal/config"
+	"latsim/internal/core"
+	"latsim/internal/obs"
+)
+
+func main() {
+	from := flag.String("from", "", "re-render from a saved .report.json instead of simulating")
+	app := flag.String("app", "MP3D", "benchmark: MP3D, LU or PTHOR")
+	model := flag.String("model", "SC", "memory consistency model: SC, PC, WC or RC")
+	prefetch := flag.Bool("prefetch", false, "run the software-prefetching variant")
+	contexts := flag.Int("contexts", 1, "hardware contexts per processor")
+	procs := flag.Int("procs", 16, "number of processors")
+	meshNet := flag.Bool("mesh", false, "use the 2-D wormhole mesh interconnect")
+	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
+	dir := flag.String("dir", "obs", "directory for the report + trace artifacts")
+	interval := flag.Uint64("obs-interval", 0, "sampling interval in cycles (0 = default)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = unbounded)")
+	flag.Parse()
+
+	if *from != "" {
+		rerender(*from)
+		return
+	}
+
+	scale, err := core.ParseScale(*scaleFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := config.Default()
+	cfg.Procs = *procs
+	cfg.Prefetch = *prefetch
+	cfg.Contexts = *contexts
+	cfg.MeshNetwork = *meshNet
+	switch *model {
+	case "SC":
+	case "PC":
+		cfg.Model = config.PC
+	case "WC":
+		cfg.Model = config.WC
+	case "RC":
+		cfg.Model = config.RC
+	default:
+		fatalf("unknown model %q (want SC, PC, WC or RC)", *model)
+	}
+	if err := cfg.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
+	s := core.NewSession(scale)
+	s.Obs = &obs.Options{Interval: *interval}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		s.Ctx = ctx
+	}
+	defer s.Close()
+	res, err := s.Run(*app, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s on %s (%s scale, %d procs): %d cycles\n",
+		res.AppName, cfg.Name(), scale, cfg.Procs, res.Elapsed)
+	res.Obs.Summary(os.Stdout)
+	repPath, trPath, err := res.Obs.WriteArtifacts(*dir, fmt.Sprintf("%s_%s", res.AppName, cfg.Name()))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("report: %s\n", repPath)
+	fmt.Printf("trace:  %s (open at ui.perfetto.dev)\n", trPath)
+}
+
+// rerender prints the summary of a saved report and re-emits its Chrome
+// trace next to it, without re-running the simulation.
+func rerender(path string) {
+	rep, err := obs.ReadReport(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.Summary(os.Stdout)
+	trPath := strings.TrimSuffix(path, ".report.json")
+	if trPath == path {
+		trPath = strings.TrimSuffix(path, filepath.Ext(path))
+	}
+	trPath += ".trace.json"
+	f, err := os.Create(trPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteChromeTrace(f); err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	fmt.Printf("trace:  %s (open at ui.perfetto.dev)\n", trPath)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obs: "+format+"\n", args...)
+	os.Exit(1)
+}

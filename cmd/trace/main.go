@@ -5,19 +5,27 @@
 //
 //	trace -record -app LU -scale small -o lu.trace
 //
-// Replay it under a different machine configuration:
+// Replay it under one or more machine configurations (comma-separated
+// models sweep in parallel through the job engine):
 //
-//	trace -replay lu.trace -model RC -contexts 2
+//	trace -replay lu.trace -model SC,RC -contexts 2 -jobs 4 -cache-dir .cache
 //
 // -seed overrides the recorded benchmark's workload seed (0 keeps the
-// paper's seeds); -timeout bounds the run's wall-clock time.
+// paper's seeds); -timeout bounds the run's wall-clock time. Replays run
+// through internal/runner like the figure sweeps: -jobs bounds the
+// worker pool and -cache-dir persists results keyed by the trace's
+// content hash, so replaying an unchanged trace is near-instant.
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"latsim/internal/apps/lu"
 	"latsim/internal/apps/mp3d"
@@ -25,6 +33,7 @@ import (
 	"latsim/internal/config"
 	"latsim/internal/core"
 	"latsim/internal/machine"
+	"latsim/internal/runner"
 	"latsim/internal/stats"
 	"latsim/internal/trace"
 )
@@ -35,9 +44,11 @@ func main() {
 	app := flag.String("app", "LU", "benchmark to record: MP3D, LU or PTHOR")
 	scaleFlag := flag.String("scale", "small", "data-set scale for -record")
 	out := flag.String("o", "", "output file for -record")
-	model := flag.String("model", "SC", "consistency model: SC, PC, WC or RC")
+	model := flag.String("model", "SC", "consistency model(s): SC, PC, WC or RC; -replay accepts a comma-separated sweep")
 	contexts := flag.Int("contexts", 1, "hardware contexts per processor")
 	procs := flag.Int("procs", 16, "processors")
+	jobs := flag.Int("jobs", 0, "parallel replay workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory for replays (empty = no persistence)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run, e.g. 30s (0 = unbounded)")
 	seed := flag.Int64("seed", 0, "workload seed override for -record (0 = the paper's seeds)")
 	flag.Parse()
@@ -45,16 +56,21 @@ func main() {
 	cfg := config.Default()
 	cfg.Procs = *procs
 	cfg.Contexts = *contexts
-	switch *model {
-	case "SC":
-	case "PC":
-		cfg.Model = config.PC
-	case "WC":
-		cfg.Model = config.WC
-	case "RC":
-		cfg.Model = config.RC
-	default:
-		fatalf("unknown model %q", *model)
+
+	var models []config.Consistency
+	for _, name := range strings.Split(*model, ",") {
+		switch strings.TrimSpace(name) {
+		case "SC":
+			models = append(models, config.SC)
+		case "PC":
+			models = append(models, config.PC)
+		case "WC":
+			models = append(models, config.WC)
+		case "RC":
+			models = append(models, config.RC)
+		default:
+			fatalf("unknown model %q", name)
+		}
 	}
 
 	ctx := context.Background()
@@ -69,11 +85,22 @@ func main() {
 		if *out == "" {
 			fatalf("-record requires -o <file>")
 		}
+		if len(models) != 1 {
+			fatalf("-record takes exactly one -model")
+		}
+		cfg.Model = models[0]
+		validate(cfg)
 		doRecord(ctx, cfg, *app, *scaleFlag, *out, *seed)
 	case *replayPath != "":
-		doReplay(ctx, cfg, *replayPath)
+		doReplay(ctx, cfg, models, *replayPath, *jobs, *cacheDir)
 	default:
 		fatalf("need -record or -replay <file>")
+	}
+}
+
+func validate(cfg config.Config) {
+	if err := cfg.Validate(); err != nil {
+		fatalf("%v", err)
 	}
 }
 
@@ -140,30 +167,59 @@ func doRecord(ctx context.Context, cfg config.Config, appName, scaleFlag, out st
 	fmt.Printf("execution-driven run: %d cycles\n", res.Elapsed)
 }
 
-func doReplay(ctx context.Context, cfg config.Config, path string) {
-	f, err := os.Open(path)
+// doReplay runs the trace under each requested model through the job
+// engine: the jobs are keyed by the trace file's content hash plus the
+// configuration, so sweeps parallelize and cached results are reused.
+func doReplay(ctx context.Context, cfg config.Config, models []config.Consistency, path string, jobs int, cacheDir string) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	defer f.Close()
-	tr, err := trace.ReadTrace(f)
+	sum := sha256.Sum256(raw)
+	tr, err := trace.ReadTrace(bytes.NewReader(raw))
 	if err != nil {
 		fatalf("reading trace: %v", err)
 	}
-	m, err := machine.New(cfg)
+
+	exec := func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		m, err := machine.New(j.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		// A fresh Replayer per run: it holds per-machine state (locks,
+		// remap base); the parsed trace itself is read-only and shared.
+		return m.RunContext(ctx, trace.NewReplayer(tr))
+	}
+	eng, err := runner.New(runner.Options{Workers: jobs, CacheDir: cacheDir}, exec)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := m.RunContext(ctx, trace.NewReplayer(tr))
+	defer eng.Close()
+
+	batch := make([]runner.Job, len(models))
+	for i, mdl := range models {
+		c := cfg
+		c.Model = mdl
+		validate(c)
+		batch[i] = runner.Job{
+			App:   tr.AppName + "+replay",
+			Trace: hex.EncodeToString(sum[:]),
+			Cfg:   c,
+		}
+	}
+	results, err := eng.RunAll(ctx, batch)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("replayed %s (%d events) on %s: %d cycles, util %.1f%%\n",
-		tr.AppName, tr.Events(), cfg.Name(), res.Elapsed, 100*res.ProcessorUtilization())
-	total := float64(res.Breakdown.Total())
-	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
-		if v := res.Breakdown.Time[b]; v > 0 {
-			fmt.Printf("  %-12s %5.1f%%\n", b, 100*float64(v)/total)
+	for i, res := range results {
+		c := batch[i].Cfg
+		fmt.Printf("replayed %s (%d events) on %s: %d cycles, util %.1f%%\n",
+			tr.AppName, tr.Events(), c.Name(), res.Elapsed, 100*res.ProcessorUtilization())
+		total := float64(res.Breakdown.Total())
+		for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+			if v := res.Breakdown.Time[b]; v > 0 {
+				fmt.Printf("  %-12s %5.1f%%\n", b, 100*float64(v)/total)
+			}
 		}
 	}
 }

@@ -220,8 +220,30 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: PrefetchBufferDepth = %d, need >= 1", c.PrefetchBufferDepth)
 	case c.MaxOutstandingWrites < 1:
 		return fmt.Errorf("config: MaxOutstandingWrites = %d, need >= 1", c.MaxOutstandingWrites)
+	case c.PrefetchIssueCycles < 0:
+		return fmt.Errorf("config: negative PrefetchIssueCycles")
+	}
+	if c.MeshNetwork {
+		if w := isqrt(c.Procs); w*w != c.Procs {
+			return fmt.Errorf("config: MeshNetwork needs a square processor count, got Procs = %d", c.Procs)
+		}
+		if c.MeshHopCycles <= 0 {
+			return fmt.Errorf("config: MeshHopCycles = %d, need >= 1 with MeshNetwork", c.MeshHopCycles)
+		}
+		if c.MeshLinkOccupancy <= 0 {
+			return fmt.Errorf("config: MeshLinkOccupancy = %d, need >= 1 with MeshNetwork", c.MeshLinkOccupancy)
+		}
 	}
 	return nil
+}
+
+// isqrt returns the integer square root of n.
+func isqrt(n int) int {
+	w := 0
+	for (w+1)*(w+1) <= n {
+		w++
+	}
+	return w
 }
 
 // TotalProcesses is Procs * Contexts: the number of application processes

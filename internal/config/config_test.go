@@ -30,6 +30,10 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"no write buffer", func(c *Config) { c.WriteBufferDepth = 0 }, "WriteBufferDepth"},
 		{"no pf buffer", func(c *Config) { c.PrefetchBufferDepth = 0 }, "PrefetchBufferDepth"},
 		{"no outstanding", func(c *Config) { c.MaxOutstandingWrites = 0 }, "MaxOutstandingWrites"},
+		{"negative pf issue", func(c *Config) { c.PrefetchIssueCycles = -1 }, "PrefetchIssueCycles"},
+		{"mesh non-square", func(c *Config) { c.MeshNetwork = true; c.Procs = 12 }, "square"},
+		{"mesh zero hop", func(c *Config) { c.MeshNetwork = true; c.MeshHopCycles = 0 }, "MeshHopCycles"},
+		{"mesh zero occupancy", func(c *Config) { c.MeshNetwork = true; c.MeshLinkOccupancy = -2 }, "MeshLinkOccupancy"},
 	}
 	for _, tc := range cases {
 		cfg := Default()
@@ -41,6 +45,17 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsMeshConfigs(t *testing.T) {
+	for _, procs := range []int{1, 4, 9, 16} {
+		cfg := Default()
+		cfg.MeshNetwork = true
+		cfg.Procs = procs
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Procs=%d: %v", procs, err)
 		}
 	}
 }

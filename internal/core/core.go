@@ -20,6 +20,7 @@ import (
 	"latsim/internal/apps/pthor"
 	"latsim/internal/config"
 	"latsim/internal/machine"
+	"latsim/internal/obs"
 	"latsim/internal/runner"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
@@ -83,6 +84,10 @@ type Session struct {
 	Ctx context.Context
 	// Seed overrides the benchmarks' workload seeds (0 = paper seeds).
 	Seed int64
+	// Obs enables observability recording on every run (nil = off).
+	// Obs-enabled jobs hash — and therefore cache — separately from
+	// plain runs.
+	Obs *obs.Options
 
 	mu  sync.Mutex
 	eng *runner.Runner
@@ -165,6 +170,9 @@ func execJob(ctx context.Context, j runner.Job) (*machine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if j.Obs != nil {
+		m.EnableObs(*j.Obs)
+	}
 	res, err := m.RunContext(ctx, app)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", j.App, j.Cfg.Name(), err)
@@ -180,7 +188,7 @@ func (s *Session) ctx() context.Context {
 }
 
 func (s *Session) job(app string, cfg config.Config) runner.Job {
-	return runner.Job{App: app, Scale: s.Scale.String(), Seed: s.Seed, Cfg: cfg}
+	return runner.Job{App: app, Scale: s.Scale.String(), Seed: s.Seed, Obs: s.Obs, Cfg: cfg}
 }
 
 // Run simulates one (app, configuration) pair through the job engine.

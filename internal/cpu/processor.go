@@ -11,6 +11,7 @@ import (
 	"latsim/internal/mem"
 	"latsim/internal/memsys"
 	"latsim/internal/msync"
+	"latsim/internal/obs"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -58,12 +59,12 @@ const (
 type contKind uint8
 
 const (
-	contNone contKind = iota
-	contResume       // compute block elapsed: resume the process
-	contPort         // primary-port lockout over: re-check the port
-	contReadClassify // read issue cycle over: classify and route
-	contWriteModel   // write issue cycle over: apply the consistency model
-	contSpinEnd      // spin over: yield to sibling contexts
+	contNone         contKind = iota
+	contResume                // compute block elapsed: resume the process
+	contPort                  // primary-port lockout over: re-check the port
+	contReadClassify          // read issue cycle over: classify and route
+	contWriteModel            // write issue cycle over: apply the consistency model
+	contSpinEnd               // spin over: yield to sibling contexts
 	contPrefetchIssue
 	contLockIssue
 	contUnlockIssue
@@ -88,6 +89,7 @@ type Context struct {
 	cont       contKind
 	stallStart sim.Time     // start of a short no-switch stall
 	stallCause stats.Bucket // its bucket before inline attribution
+	blockStart sim.Time     // when the context last blocked (obs latency)
 
 	// Pre-built closures for the callback-based msync/memsys interfaces
 	// (one allocation per context per run instead of per operation).
@@ -142,7 +144,8 @@ type Processor struct {
 	inlineOK    bool     // current call chain is tail-positioned under a kernel event
 	inlineDepth int
 
-	trace TraceFn // optional reference-stream observer
+	trace TraceFn       // optional reference-stream observer
+	rec   *obs.Recorder // optional observability recorder (nil = off)
 }
 
 // Act implements sim.Actor for the processor's own events: the start event
@@ -160,6 +163,11 @@ func (p *Processor) Act() {
 
 // SetTrace installs a reference-stream observer (nil disables tracing).
 func (p *Processor) SetTrace(fn TraceFn) { p.trace = fn }
+
+// SetObs installs an observability recorder (nil disables, the default).
+// See DESIGN.md: hooks are nil-guarded pointer checks, never interface
+// dispatch, so the disabled path costs one predictable branch.
+func (p *Processor) SetObs(rec *obs.Recorder) { p.rec = rec }
 
 // NewProcessor creates the processor for a node.
 func NewProcessor(k *sim.Kernel, cfg *config.Config, node *memsys.Node, st *stats.Proc) *Processor {
@@ -216,10 +224,16 @@ func (p *Processor) StateSummary() string {
 	return s
 }
 
-// account accrues d cycles to bucket b.
+// account accrues d cycles to bucket b. This is the single accounting
+// chokepoint: the processor attributes every cycle to exactly one bucket
+// in causal order, which is what lets the obs recorder reconstruct a
+// perfectly tiled per-processor timeline from these calls alone.
 func (p *Processor) account(b stats.Bucket, d sim.Time) {
 	if d > 0 {
 		p.st.Add(b, d)
+		if p.rec != nil {
+			p.rec.Account(p.node.ID(), b, d)
+		}
 	}
 }
 
@@ -322,6 +336,9 @@ func (p *Processor) dispatch() {
 	}
 	if p.lastRun != nil && p.lastRun != next && p.cfg.SwitchPenalty > 0 {
 		p.st.Switches++
+		if p.rec != nil {
+			p.rec.Switch(p.node.ID())
+		}
 		pen := sim.Time(p.cfg.SwitchPenalty)
 		p.account(stats.Switching, pen)
 		p.lastRun = next
@@ -372,6 +389,7 @@ func (p *Processor) blockOn(c *Context, cause stats.Bucket) {
 	p.inlineOK = false
 	c.state = ctxBlocked
 	c.cause = cause
+	c.blockStart = p.k.Now()
 	p.recordRun()
 	p.dispatch()
 }
@@ -382,6 +400,19 @@ func (p *Processor) blockOn(c *Context, cause stats.Bucket) {
 func (p *Processor) wake(c *Context) {
 	if c.state != ctxBlocked {
 		panic(fmt.Sprintf("cpu: wake of context in state %d", c.state))
+	}
+	if p.rec != nil && c.cause == stats.SyncStall {
+		// The blocked stretch of a lock/unlock/barrier is the sync
+		// operation's observed latency; locality keys off the home of the
+		// synchronization variable itself.
+		local := true
+		switch {
+		case c.cur.lock != nil:
+			local = p.node.IsLocal(c.cur.lock.Addr())
+		case c.cur.bar != nil:
+			local = p.node.IsLocal(c.cur.bar.CounterAddr())
+		}
+		p.rec.Miss(obs.SyncOp, local, p.k.Now()-c.blockStart)
 	}
 	c.state = ctxReady
 	if p.idle {

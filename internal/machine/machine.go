@@ -13,6 +13,7 @@ import (
 	"latsim/internal/mem"
 	"latsim/internal/memsys"
 	"latsim/internal/msync"
+	"latsim/internal/obs"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -35,6 +36,8 @@ type Machine struct {
 	nodes []*memsys.Node
 	procs []*cpu.Processor
 	sts   []*stats.Proc
+	mesh  *memsys.Mesh
+	rec   *obs.Recorder
 	ran   bool
 }
 
@@ -56,14 +59,13 @@ func New(cfg config.Config) (*Machine, error) {
 		m.sts = append(m.sts, st)
 		m.nodes = append(m.nodes, memsys.NewNode(m.k, i, &m.cfg, m.alloc, st))
 	}
-	var mesh *memsys.Mesh
 	if cfg.MeshNetwork {
-		mesh = memsys.NewMesh(m.k, cfg.Procs, cfg.MeshHopCycles, cfg.MeshLinkOccupancy)
+		m.mesh = memsys.NewMesh(m.k, cfg.Procs, cfg.MeshHopCycles, cfg.MeshLinkOccupancy)
 	}
 	for i, n := range m.nodes {
 		n.Connect(m.nodes)
-		if mesh != nil {
-			n.AttachMesh(mesh)
+		if m.mesh != nil {
+			n.AttachMesh(m.mesh)
 		}
 		m.procs = append(m.procs, cpu.NewProcessor(m.k, &m.cfg, n, m.sts[i]))
 	}
@@ -72,6 +74,27 @@ func New(cfg config.Config) (*Machine, error) {
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() *config.Config { return &m.cfg }
+
+// EnableObs installs an observability recorder on every model layer
+// (processors, memory-system nodes, the mesh if present) and returns it.
+// Must be called before Run; the resulting report is attached to the
+// run's Result. Calling it again returns the existing recorder.
+func (m *Machine) EnableObs(opts obs.Options) *obs.Recorder {
+	if m.rec != nil {
+		return m.rec
+	}
+	m.rec = obs.NewRecorder(m.k, m.cfg.Procs, opts)
+	for _, n := range m.nodes {
+		n.SetObs(m.rec)
+	}
+	for _, p := range m.procs {
+		p.SetObs(m.rec)
+	}
+	if m.mesh != nil {
+		m.mesh.SetObs(m.rec)
+	}
+	return m.rec
+}
 
 // Kernel exposes the simulation kernel (tests and tools).
 func (m *Machine) Kernel() *sim.Kernel { return m.k }
@@ -127,6 +150,7 @@ type Result struct {
 	SharedBytes uint64
 	Events      uint64
 	Kernel      sim.Stats
+	Obs         *obs.Report `json:",omitempty"`
 }
 
 // Run executes the application to completion and returns its result.
@@ -207,7 +231,7 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	if err := memsys.CheckInvariants(m.nodes); err != nil {
 		return nil, fmt.Errorf("machine: coherence invariant violated after %s: %w", app.Name(), err)
 	}
-	return &Result{
+	res := &Result{
 		AppName:     app.Name(),
 		Cfg:         m.cfg,
 		Elapsed:     elapsed,
@@ -216,7 +240,11 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		SharedBytes: m.alloc.TotalBytes(),
 		Events:      m.k.Events(),
 		Kernel:      m.k.KernelStats(),
-	}, nil
+	}
+	if m.rec != nil {
+		res.Obs = m.rec.Finish(elapsed)
+	}
+	return res, nil
 }
 
 // Totals sums a counter over all processors.

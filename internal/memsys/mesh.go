@@ -3,6 +3,7 @@ package memsys
 import (
 	"fmt"
 
+	"latsim/internal/obs"
 	"latsim/internal/sim"
 )
 
@@ -20,7 +21,11 @@ type Mesh struct {
 	occ   int // link occupancy per message (flits)
 
 	links map[[2]int]*sim.Resource // directed neighbor edges
+	rec   *obs.Recorder            // optional observability recorder (nil = off)
 }
+
+// SetObs installs an observability recorder on the mesh (nil disables).
+func (m *Mesh) SetObs(rec *obs.Recorder) { m.rec = rec }
 
 // NewMesh builds a near-square mesh for the given node count. hop is the
 // per-hop latency in cycles and occ the per-link occupancy per message.
@@ -114,6 +119,9 @@ func (m *Mesh) Route(from, to int, fn func()) {
 		link, ok := m.links[[2]int{cur, next}]
 		if !ok {
 			panic(fmt.Sprintf("memsys: mesh has no link %d->%d", cur, next))
+		}
+		if m.rec != nil {
+			m.rec.MeshHop(cur, next)
 		}
 		link.Acquire(sim.Time(m.occ), func() {
 			m.k.After(sim.Time(m.hop), func() {

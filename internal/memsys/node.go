@@ -5,6 +5,7 @@ import (
 
 	"latsim/internal/config"
 	"latsim/internal/mem"
+	"latsim/internal/obs"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -153,7 +154,8 @@ type Node struct {
 
 	wb   *writeBuffer
 	pf   *prefetchBuffer
-	mesh *Mesh // optional 2-D mesh interconnect (nil = direct network)
+	mesh *Mesh         // optional 2-D mesh interconnect (nil = direct network)
+	rec  *obs.Recorder // optional observability recorder (nil = off)
 
 	// Free lists for the transient transaction records on the hot paths.
 	// They are per-node (per-kernel), matching the kernel's single-threaded
@@ -193,6 +195,10 @@ func NewNode(k *sim.Kernel, id int, cfg *config.Config, alloc *mem.Allocator, st
 
 // Connect wires the node to the rest of the machine.
 func (n *Node) Connect(nodes []*Node) { n.nodes = nodes }
+
+// SetObs installs an observability recorder (nil disables, the default).
+// Hooks are nil-guarded pointer checks per the DESIGN.md contract.
+func (n *Node) SetObs(rec *obs.Recorder) { n.rec = rec }
 
 // ID returns the node number.
 func (n *Node) ID() int { return n.id }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"latsim/internal/mem"
+	"latsim/internal/obs"
 	"latsim/internal/sim"
 )
 
@@ -238,6 +239,9 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 		})
 		return
 	}
+	if h.rec != nil {
+		h.rec.DirTxn(obs.DirRead)
+	}
 	switch e.state {
 	case DirUncached:
 		if h.cfg.ExclusiveGrant {
@@ -266,6 +270,9 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 		e.state = DirShared
 		e.sharers = 1<<uint(owner.id) | 1<<uint(req.id)
 		e.busy = true
+		if h.rec != nil {
+			h.rec.DirTxn(obs.DirForward)
+		}
 		h.send(owner, h.lat().WireForward, func() { owner.serveForward(l, req, m, false) })
 	}
 }
@@ -280,6 +287,9 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		})
 		return
 	}
+	if h.rec != nil {
+		h.rec.DirTxn(obs.DirWrite)
+	}
 	switch e.state {
 	case DirUncached:
 		e.state = DirDirty
@@ -293,6 +303,9 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		for id := range h.nodes {
 			if e.sharers&(1<<uint(id)) != 0 && id != req.id {
 				count++
+				if h.rec != nil {
+					h.rec.DirTxn(obs.DirInval)
+				}
 				sharer := h.nodes[id]
 				im := sharer.invals.Get()
 				im.n, im.req, im.line = sharer, req, l
@@ -312,6 +325,9 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		owner := h.nodes[e.owner]
 		e.owner = req.id
 		e.busy = true
+		if h.rec != nil {
+			h.rec.DirTxn(obs.DirForward)
+		}
 		h.send(owner, h.lat().WireForward, func() { owner.serveForward(l, req, m, true) })
 	}
 }
@@ -481,6 +497,16 @@ func (n *Node) completeFill(m *mshr) {
 	if m.kind == mshrRead {
 		n.st.ReadMissCycles += n.k.Now() - m.started
 	}
+	if n.rec != nil {
+		cl := obs.PrefetchFill
+		switch m.kind {
+		case mshrRead:
+			cl = obs.ReadMiss
+		case mshrWrite:
+			cl = obs.WriteMiss
+		}
+		n.rec.Miss(cl, n.IsLocal(m.a), n.k.Now()-m.started)
+	}
 	// Free-list discipline: unlink the record, run the callback lists by
 	// index (they may start new transactions, which draw fresh records —
 	// this one is not recycled until they are done), then clear and free.
@@ -518,6 +544,9 @@ func (h *Node) dirWriteback(v *victimEntry) {
 			h.memc.AcquireActor(sim.Time(h.lat().MemHold), v)
 		})
 		return
+	}
+	if h.rec != nil {
+		h.rec.DirTxn(obs.DirWriteback)
 	}
 	if e.state == DirDirty && e.owner == from.id {
 		e.state = DirUncached
@@ -602,6 +631,13 @@ func (u *uncachedOp) Act() {
 		if u.read {
 			n.st.ReadMissCycles += n.k.Now() - u.started
 		}
+		if n.rec != nil {
+			cl := obs.WriteMiss
+			if u.read {
+				cl = obs.ReadMiss
+			}
+			n.rec.Miss(cl, u.home == n, n.k.Now()-u.started)
+		}
 		d := u.done
 		u.done = sim.Task{}
 		n.uncachedPool.Put(u)
@@ -631,6 +667,7 @@ func (n *Node) uncachedWrite(a mem.Addr, done sim.Task) {
 	lat := n.lat()
 	u := n.uncachedPool.Get()
 	u.n, u.home, u.read, u.done = n, n.home(a), false, done
+	u.started = n.k.Now()
 	if u.home == n {
 		u.tail = clampNonNeg(lat.UncachedWriteLocal - lat.BusHold - lat.MemHold)
 	} else {

@@ -154,6 +154,9 @@ func (w *writeBuffer) enqueue(a mem.Addr, release bool, rel Releaser, onRetire s
 		e.onRetire = append(e.onRetire, onRetire)
 	}
 	w.entries = append(w.entries, e)
+	if w.n.rec != nil {
+		w.n.rec.WBDepth(w.n.id, len(w.entries))
+	}
 	w.drain()
 	return true
 }
@@ -207,6 +210,9 @@ func (w *writeBuffer) retire(e *wbEntry) {
 			w.entries = append(w.entries[:i], w.entries[i+1:]...)
 			break
 		}
+	}
+	if w.n.rec != nil {
+		w.n.rec.WBDepth(w.n.id, len(w.entries))
 	}
 	// The release notification and retire tasks may enqueue new writes;
 	// the entry is unlinked already and recycled only after they run.

@@ -1,0 +1,90 @@
+package obs
+
+import "math/bits"
+
+// histBuckets bounds the log-bucketed latency histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket
+// 0 holds v == 0). 40 buckets cover latencies up to ~5e11 cycles, far
+// beyond any simulated operation.
+const histBuckets = 40
+
+// Hist is a log2-bucketed latency histogram. All fields are integral so a
+// Hist round-trips exactly through JSON (the runner's persistent result
+// cache re-serializes whole reports).
+type Hist struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Min     uint64              `json:"min"`
+	Max     uint64              `json:"max"`
+	Buckets [histBuckets]uint64 `json:"buckets"`
+}
+
+// Observe records one latency observation.
+func (h *Hist) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// Mean returns the arithmetic mean latency.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by linear
+// interpolation within the containing log bucket, clamped to the observed
+// [Min, Max] range.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.Min)
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if seen+fc >= rank {
+			// Bucket i spans [2^(i-1), 2^i); interpolate by rank within it.
+			lo, hi := bucketBounds(i)
+			v := lo + (hi-lo)*(rank-seen)/fc
+			if v < float64(h.Min) {
+				v = float64(h.Min)
+			}
+			if v > float64(h.Max) {
+				v = float64(h.Max)
+			}
+			return v
+		}
+		seen += fc
+	}
+	return float64(h.Max)
+}
+
+// bucketBounds returns the value range covered by log bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}

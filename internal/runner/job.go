@@ -20,22 +20,35 @@ import (
 	"fmt"
 
 	"latsim/internal/config"
+	"latsim/internal/obs"
 )
 
 // SchemaVersion is baked into every job hash and persisted cache entry.
 // Bump it whenever the simulator's timing semantics or the Result schema
 // change, so stale on-disk results are invalidated wholesale instead of
 // silently reused.
-const SchemaVersion = 2
+//
+// v3: machine.Result carries an optional obs.Report; Job gained the Obs
+// and Trace fields.
+const SchemaVersion = 3
 
 // Job names one deterministic simulation: an application, a data-set
 // scale, an optional workload seed override (0 keeps the paper's seeds),
 // and a full machine configuration. Two Jobs with equal fields are the
 // same experiment and share one execution and one cache entry.
+//
+// Obs, when set, makes the execution record observability data into the
+// result; it participates in the hash because an obs-enabled result
+// carries a (potentially large) report a plain run does not. Trace
+// identifies a reference-stream replay input by content hash (cmd/trace);
+// the runner itself never reads it, but two replays of different traces
+// must not share a cache entry.
 type Job struct {
 	App   string        `json:"app"`
 	Scale string        `json:"scale,omitempty"`
 	Seed  int64         `json:"seed,omitempty"`
+	Obs   *obs.Options  `json:"obs,omitempty"`
+	Trace string        `json:"trace,omitempty"`
 	Cfg   config.Config `json:"cfg"`
 }
 

@@ -2,11 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"latsim/internal/apps/lu"
 	"latsim/internal/config"
 	"latsim/internal/machine"
+	"latsim/internal/obs"
 )
 
 func record(t *testing.T, cfg config.Config) (*Trace, *machine.Result) {
@@ -166,5 +168,31 @@ func TestReadTraceRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+// TestReplayObsDeterminism replays the same trace twice with the
+// observability recorder enabled: the reports — time series, latency
+// histograms and per-processor timelines — must be bit-identical.
+func TestReplayObsDeterminism(t *testing.T) {
+	tr, _ := record(t, cfg4(nil))
+	run := func() *obs.Report {
+		m, err := machine.New(cfg4(func(c *config.Config) { c.Model = config.RC }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.EnableObs(obs.Options{Interval: 512})
+		res, err := m.Run(NewReplayer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Obs
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("replaying the same trace produced different observability reports")
+	}
+	if len(a.Hists) == 0 || len(a.Tracks) != 4 {
+		t.Errorf("report is empty: %d hists, %d tracks", len(a.Hists), len(a.Tracks))
 	}
 }
