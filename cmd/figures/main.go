@@ -12,7 +12,13 @@
 // -scale paper uses the paper's exact data sets (slower); the default
 // small scale keeps the workload structure at reduced size. -obs records
 // observability data on every run and writes per-bar report + Chrome
-// trace artifacts for the figure experiments.
+// trace artifacts for the figure experiments; -obs-span-rate controls
+// how many transactions the span tracer samples. -listen serves live
+// telemetry (Prometheus /metrics, streaming /progress, /debug/pprof)
+// while the sweep is in flight:
+//
+//	figures -exp all -listen 127.0.0.1:9100 &
+//	curl -s http://127.0.0.1:9100/metrics | grep latsim_jobs
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"latsim/internal/config"
 	"latsim/internal/core"
 	"latsim/internal/obs"
+	"latsim/internal/runner"
 )
 
 // main delegates to realMain so deferred cleanups (profile flush, session
@@ -42,11 +50,21 @@ func realMain() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	obsFlag := flag.Bool("obs", false, "record observability data; write per-bar report + Chrome trace artifacts")
 	obsDir := flag.String("obs-dir", "", "directory for observability artifacts (implies -obs; default \"obs\")")
+	spanRate := flag.Float64("obs-span-rate", 1.0/64, "transaction span-tracing sample rate in (0, 1] when -obs is set (0 = off)")
+	listen := flag.String("listen", "", "serve live telemetry (Prometheus /metrics, /progress, /debug/pprof) on this host:port")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := config.ValidateSpanRate(*spanRate); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 2
+	}
+	if err := config.ValidateListenAddr(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
 		return 2
 	}
 	if *cpuprofile != "" {
@@ -78,7 +96,16 @@ func realMain() int {
 		*obsDir = "obs"
 	}
 	if *obsFlag {
-		s.Obs = &obs.Options{}
+		s.Obs = &obs.Options{SpanRate: *spanRate}
+	}
+	if *listen != "" {
+		tel, err := runner.ServeTelemetry(*listen, s.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "figures: telemetry on http://%s/metrics\n", tel.Addr())
 	}
 
 	// writeObs emits the per-bar observability artifacts of a figure.

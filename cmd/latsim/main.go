@@ -6,6 +6,7 @@
 //	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
 //	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
 //	       [-timeout D] [-seed N] [-obs] [-obs-dir DIR] [-obs-interval N]
+//	       [-obs-span-rate R]
 //
 // -timeout bounds the run's wall-clock time: the simulation is canceled
 // through the job engine's context when it expires. -obs enables the
@@ -42,11 +43,16 @@ func main() {
 	obsFlag := flag.Bool("obs", false, "record observability data and write report + Chrome trace artifacts")
 	obsDir := flag.String("obs-dir", "", "directory for observability artifacts (implies -obs; default \"obs\")")
 	obsInterval := flag.Uint64("obs-interval", 0, "observability sampling interval in cycles (0 = default)")
+	spanRate := flag.Float64("obs-span-rate", 1.0/64, "transaction span-tracing sample rate in (0, 1] when -obs is set (0 = off)")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := config.ValidateSpanRate(*spanRate); err != nil {
+		fmt.Fprintln(os.Stderr, "latsim:", err)
 		os.Exit(2)
 	}
 
@@ -85,7 +91,7 @@ func main() {
 		*obsDir = "obs"
 	}
 	if *obsFlag {
-		s.Obs = &obs.Options{Interval: *obsInterval}
+		s.Obs = &obs.Options{Interval: *obsInterval, SpanRate: *spanRate}
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -14,7 +14,12 @@
 // The trace artifact loads at ui.perfetto.dev (or chrome://tracing): one
 // track per processor showing the execution-time bucket each cycle is
 // charged to, plus counter tracks for write-buffer depth, context
-// switches, directory traffic, kernel events and mesh hops.
+// switches, directory traffic, kernel events and mesh hops. With span
+// tracing on (-obs-span-rate, default 1/64) the trace also carries
+// sampled transaction spans with flow arrows, and the report gains the
+// critical-path stall waterfall. -listen serves live telemetry
+// (Prometheus /metrics, /progress, /debug/pprof) while the run is in
+// flight.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"latsim/internal/config"
 	"latsim/internal/core"
 	"latsim/internal/obs"
+	"latsim/internal/runner"
 )
 
 func main() {
@@ -41,6 +47,8 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
 	dir := flag.String("dir", "obs", "directory for the report + trace artifacts")
 	interval := flag.Uint64("obs-interval", 0, "sampling interval in cycles (0 = default)")
+	spanRate := flag.Float64("obs-span-rate", 1.0/64, "transaction span-tracing sample rate in (0, 1] (0 = off)")
+	listen := flag.String("listen", "", "serve live telemetry (Prometheus /metrics, /progress, /debug/pprof) on this host:port")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = unbounded)")
 	flag.Parse()
 
@@ -51,6 +59,12 @@ func main() {
 
 	scale, err := core.ParseScale(*scaleFlag)
 	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := config.ValidateSpanRate(*spanRate); err != nil {
+		fatalf("%v", err)
+	}
+	if err := config.ValidateListenAddr(*listen); err != nil {
 		fatalf("%v", err)
 	}
 	cfg := config.Default()
@@ -74,7 +88,15 @@ func main() {
 	}
 
 	s := core.NewSession(scale)
-	s.Obs = &obs.Options{Interval: *interval}
+	s.Obs = &obs.Options{Interval: *interval, SpanRate: *spanRate}
+	if *listen != "" {
+		tel, err := runner.ServeTelemetry(*listen, s.Metrics)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "obs: telemetry on http://%s/metrics\n", tel.Addr())
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

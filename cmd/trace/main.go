@@ -49,9 +49,14 @@ func main() {
 	procs := flag.Int("procs", 16, "processors")
 	jobs := flag.Int("jobs", 0, "parallel replay workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory for replays (empty = no persistence)")
+	listen := flag.String("listen", "", "serve live telemetry for -replay (Prometheus /metrics, /progress, /debug/pprof) on this host:port")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run, e.g. 30s (0 = unbounded)")
 	seed := flag.Int64("seed", 0, "workload seed override for -record (0 = the paper's seeds)")
 	flag.Parse()
+
+	if err := config.ValidateListenAddr(*listen); err != nil {
+		fatalf("%v", err)
+	}
 
 	cfg := config.Default()
 	cfg.Procs = *procs
@@ -92,7 +97,7 @@ func main() {
 		validate(cfg)
 		doRecord(ctx, cfg, *app, *scaleFlag, *out, *seed)
 	case *replayPath != "":
-		doReplay(ctx, cfg, models, *replayPath, *jobs, *cacheDir)
+		doReplay(ctx, cfg, models, *replayPath, *jobs, *cacheDir, *listen)
 	default:
 		fatalf("need -record or -replay <file>")
 	}
@@ -170,7 +175,7 @@ func doRecord(ctx context.Context, cfg config.Config, appName, scaleFlag, out st
 // doReplay runs the trace under each requested model through the job
 // engine: the jobs are keyed by the trace file's content hash plus the
 // configuration, so sweeps parallelize and cached results are reused.
-func doReplay(ctx context.Context, cfg config.Config, models []config.Consistency, path string, jobs int, cacheDir string) {
+func doReplay(ctx context.Context, cfg config.Config, models []config.Consistency, path string, jobs int, cacheDir, listen string) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -195,6 +200,14 @@ func doReplay(ctx context.Context, cfg config.Config, models []config.Consistenc
 		fatalf("%v", err)
 	}
 	defer eng.Close()
+	if listen != "" {
+		tel, err := runner.ServeTelemetry(listen, eng.Metrics)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "trace: telemetry on http://%s/metrics\n", tel.Addr())
+	}
 
 	batch := make([]runner.Job, len(models))
 	for i, mdl := range models {

@@ -3,7 +3,10 @@
 // the four latency reducing/tolerating techniques under study.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"net"
+)
 
 // Consistency selects the memory consistency model.
 type Consistency int
@@ -233,6 +236,31 @@ func (c *Config) Validate() error {
 		if c.MeshLinkOccupancy <= 0 {
 			return fmt.Errorf("config: MeshLinkOccupancy = %d, need >= 1 with MeshNetwork", c.MeshLinkOccupancy)
 		}
+	}
+	return nil
+}
+
+// ValidateSpanRate checks a span-tracing sample rate: 0 disables
+// tracing, otherwise the rate must lie in (0, 1].
+func ValidateSpanRate(rate float64) error {
+	if rate == 0 {
+		return nil
+	}
+	if rate != rate || rate < 0 || rate > 1 {
+		return fmt.Errorf("config: span sample rate = %v, need 0 (off) or within (0, 1]", rate)
+	}
+	return nil
+}
+
+// ValidateListenAddr checks a telemetry listen address: "" disables the
+// server, otherwise the address must be a host:port the listener can
+// parse (an empty host and port 0 are allowed).
+func ValidateListenAddr(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("config: listen address %q: %w", addr, err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -141,5 +142,49 @@ func TestTable1Composition(t *testing.T) {
 	}
 	if got := 64 + fwd; got != 82 {
 		t.Errorf("dirty write composes to %d, want 82", got)
+	}
+}
+
+func TestValidateSpanRate(t *testing.T) {
+	cases := []struct {
+		rate float64
+		ok   bool
+	}{
+		{0, true}, // off
+		{1.0 / 64, true},
+		{0.5, true},
+		{1, true},
+		{-0.1, false},
+		{1.1, false},
+		{math.Inf(1), false},
+		{math.NaN(), false},
+	}
+	for _, c := range cases {
+		err := ValidateSpanRate(c.rate)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateSpanRate(%v) = %v, want ok=%v", c.rate, err, c.ok)
+		}
+	}
+}
+
+func TestValidateListenAddr(t *testing.T) {
+	cases := []struct {
+		addr string
+		ok   bool
+	}{
+		{"", true}, // off
+		{"localhost:8080", true},
+		{":0", true},
+		{"127.0.0.1:9100", true},
+		{"[::1]:9100", true},
+		{"localhost", false}, // missing port
+		{"host:port:extra", false},
+		{"127.0.0.1", false},
+	}
+	for _, c := range cases {
+		err := ValidateListenAddr(c.addr)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateListenAddr(%q) = %v, want ok=%v", c.addr, err, c.ok)
+		}
 	}
 }

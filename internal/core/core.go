@@ -162,6 +162,11 @@ func execJob(ctx context.Context, j runner.Job) (*machine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if j.Obs != nil {
+		if err := config.ValidateSpanRate(j.Obs.SpanRate); err != nil {
+			return nil, err
+		}
+	}
 	app, err := newApp(j.App, scale, j.Cfg.Prefetch, j.Seed)
 	if err != nil {
 		return nil, err

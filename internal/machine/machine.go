@@ -14,6 +14,7 @@ import (
 	"latsim/internal/memsys"
 	"latsim/internal/msync"
 	"latsim/internal/obs"
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -243,6 +244,21 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	}
 	if m.rec != nil {
 		res.Obs = m.rec.Finish(elapsed)
+		if res.Obs.Spans != nil {
+			// The machine owns the per-processor stall totals; join them
+			// with the sampled spans into the critical-path waterfall.
+			stalls := make([]span.ProcStalls, len(m.sts))
+			for i, st := range m.sts {
+				stalls[i] = span.ProcStalls{
+					Proc:     i,
+					Read:     uint64(st.Time[stats.ReadStall]),
+					Write:    uint64(st.Time[stats.WriteStall]),
+					Sync:     uint64(st.Time[stats.SyncStall]),
+					Prefetch: uint64(st.Time[stats.PrefetchOverhead]),
+				}
+			}
+			res.Obs.Waterfall = span.Attribute(res.Obs.Spans, stalls)
+		}
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"latsim/internal/obs"
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 )
 
@@ -102,8 +103,10 @@ func (m *Mesh) nextHop(cur, to int) int {
 
 // Route sends a message from one node to another, occupying each link on
 // the dimension-ordered path and paying the per-hop latency; fn runs at
-// delivery.
-func (m *Mesh) Route(from, to int, fn func()) {
+// delivery. sp is the sending transaction's span (nil when untraced): each
+// link crossed opens one child span, so per-hop queueing is visible in the
+// trace.
+func (m *Mesh) Route(from, to int, sp *span.Span, fn func()) {
 	if from == to {
 		m.k.After(2, fn)
 		return
@@ -123,8 +126,10 @@ func (m *Mesh) Route(from, to int, fn func()) {
 		if m.rec != nil {
 			m.rec.MeshHop(cur, next)
 		}
+		c := sp.Child(span.KSegLink, cur)
 		link.Acquire(sim.Time(m.occ), func() {
 			m.k.After(sim.Time(m.hop), func() {
+				c.End()
 				cur = next
 				step()
 			})

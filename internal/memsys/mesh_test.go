@@ -55,7 +55,7 @@ func TestMeshRouteDeliversEverywhere(t *testing.T) {
 	delivered := 0
 	for from := 0; from < 16; from++ {
 		for to := 0; to < 16; to++ {
-			m.Route(from, to, func() { delivered++ })
+			m.Route(from, to, nil, func() { delivered++ })
 		}
 	}
 	k.Run(nil)
@@ -70,7 +70,7 @@ func TestMeshLinkContention(t *testing.T) {
 	// Many messages crossing the same first link (0->1) serialize.
 	var last sim.Time
 	for i := 0; i < 10; i++ {
-		m.Route(0, 1, func() {
+		m.Route(0, 1, nil, func() {
 			if k.Now() > last {
 				last = k.Now()
 			}
@@ -115,7 +115,7 @@ func TestMeshNonSquareCounts(t *testing.T) {
 		done := 0
 		for from := 0; from < n; from++ {
 			for to := 0; to < n; to++ {
-				m.Route(from, to, func() { done++ })
+				m.Route(from, to, nil, func() { done++ })
 			}
 		}
 		k.Run(nil)

@@ -6,6 +6,7 @@ import (
 	"latsim/internal/config"
 	"latsim/internal/mem"
 	"latsim/internal/obs"
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -65,6 +66,12 @@ type mshr struct {
 	waiters     []sim.Task
 	queuedMsgs  []func()
 	invalidated bool // an invalidation arrived while in flight
+
+	// span traces the transaction when it was sampled (nil otherwise).
+	// An adopted span belongs to the write-buffer entry that started the
+	// transaction; the entry ends it at retirement, the mshr must not.
+	span        *span.Span
+	spanAdopted bool
 }
 
 // victimEntry is a dirty line evicted from the secondary cache whose
@@ -77,6 +84,7 @@ type victimEntry struct {
 	line    mem.Line
 	stage   vbStage
 	waiters []func() // local accesses waiting for the writeback to clear
+	span    *span.Span
 }
 
 // vbStage is the writeback transaction's next step when its event fires.
@@ -95,10 +103,12 @@ func (v *victimEntry) Act() {
 	case vbToHome:
 		h := v.n.home(mem.AddrOf(v.line))
 		v.stage = vbAtHome
-		v.n.sendTask(h, v.n.lat().Wire, sim.ActorTask(v))
+		v.span.Seg(span.KSegNet, v.n.id)
+		v.n.sendSpanTask(h, v.n.lat().Wire, sim.ActorTask(v), v.span)
 	case vbAtHome:
 		h := v.n.home(mem.AddrOf(v.line))
 		v.stage = vbDir
+		v.span.Seg(span.KSegDir, h.id)
 		h.memc.AcquireActor(sim.Time(h.lat().MemHold), v)
 	case vbDir:
 		v.n.home(mem.AddrOf(v.line)).dirWriteback(v)
@@ -157,6 +167,14 @@ type Node struct {
 	mesh *Mesh         // optional 2-D mesh interconnect (nil = direct network)
 	rec  *obs.Recorder // optional observability recorder (nil = off)
 
+	// syncDepth is > 0 while a synchronization primitive issues memory
+	// accesses through this node, so their sampled spans classify as
+	// sync transactions. spanAdopt hands a write-buffer entry's span to
+	// the ownership transaction it drains into (set and cleared around
+	// the acquireOwnTask call; see DESIGN.md's span lifecycle contract).
+	syncDepth int
+	spanAdopt *span.Span
+
 	// Free lists for the transient transaction records on the hot paths.
 	// They are per-node (per-kernel), matching the kernel's single-threaded
 	// discipline — the runner simulates many machines concurrently, so
@@ -199,6 +217,37 @@ func (n *Node) Connect(nodes []*Node) { n.nodes = nodes }
 // SetObs installs an observability recorder (nil disables, the default).
 // Hooks are nil-guarded pointer checks per the DESIGN.md contract.
 func (n *Node) SetObs(rec *obs.Recorder) { n.rec = rec }
+
+// spans returns the transaction tracer, nil when span tracing is off
+// (every tracer and span method is safe on a nil receiver).
+func (n *Node) spans() *span.Tracer {
+	if n.rec == nil {
+		return nil
+	}
+	return n.rec.Spans
+}
+
+// BeginSyncSpans and EndSyncSpans bracket the memory accesses a
+// synchronization primitive issues on this node, so the transactions
+// created inside trace as sync rather than plain reads/writes. Calls
+// nest; the bracket is two integer ops, cheap enough to run
+// unconditionally.
+func (n *Node) BeginSyncSpans() { n.syncDepth++ }
+func (n *Node) EndSyncSpans()   { n.syncDepth-- }
+
+// spanKind classifies a new transaction for tracing.
+func (n *Node) spanKind(kind mshrKind) span.Kind {
+	if n.syncDepth > 0 {
+		return span.KTxnSync
+	}
+	switch kind {
+	case mshrRead:
+		return span.KTxnRead
+	case mshrWrite:
+		return span.KTxnWrite
+	}
+	return span.KTxnPrefetch
+}
 
 // ID returns the node number.
 func (n *Node) ID() int { return n.id }
@@ -272,13 +321,19 @@ func (n *Node) send(to *Node, wire int, fn func()) {
 // wraps an Actor). The mesh interconnect (an ablation) keeps the closure
 // route.
 func (n *Node) sendTask(to *Node, wire int, done sim.Task) {
+	n.sendSpanTask(to, wire, done, nil)
+}
+
+// sendSpanTask is sendTask carrying the sending transaction's span (nil
+// when untraced) so the mesh can open one child per link crossed.
+func (n *Node) sendSpanTask(to *Node, wire int, done sim.Task, sp *span.Span) {
 	if to == n {
 		n.k.AfterTask(2, done)
 		return
 	}
 	if n.mesh != nil {
 		n.niOut.Acquire(sim.Time(n.lat().NIHold), func() {
-			n.mesh.Route(n.id, to.id, func() {
+			n.mesh.Route(n.id, to.id, sp, func() {
 				to.niIn.AcquireTask(sim.Time(n.lat().NIHold), done)
 			})
 		})

@@ -5,6 +5,7 @@ import (
 
 	"latsim/internal/mem"
 	"latsim/internal/obs"
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 )
 
@@ -56,14 +57,17 @@ func (m *mshr) Act() {
 		h := m.n.home(m.a)
 		if h == m.n {
 			m.stage = msDir
+			m.span.Seg(span.KSegDir, h.id)
 			h.memc.AcquireActor(sim.Time(h.lat().MemHold), m)
 			return
 		}
 		m.stage = msAtHome
-		m.n.sendTask(h, m.n.lat().Wire, sim.ActorTask(m))
+		m.span.Seg(span.KSegNet, m.n.id)
+		m.n.sendSpanTask(h, m.n.lat().Wire, sim.ActorTask(m), m.span)
 	case msAtHome:
 		h := m.n.home(m.a)
 		m.stage = msDir
+		m.span.Seg(span.KSegDir, h.id)
 		h.memc.AcquireActor(sim.Time(h.lat().MemHold), m)
 	case msDir:
 		h := m.n.home(m.a)
@@ -89,16 +93,27 @@ func (m *mshr) Act() {
 // directly, having already paid its check latency).
 func (m *mshr) issue() {
 	m.stage = msToHome
+	m.span.Seg(span.KSegBus, m.n.id)
 	m.n.bus.AcquireActor(sim.Time(m.n.lat().BusHold), m)
 }
 
-// newMSHR allocates a miss record from the node's free list.
+// newMSHR allocates a miss record from the node's free list. If a
+// write-buffer entry is handing its span down (spanAdopt), the miss
+// continues that span; otherwise the miss is a transaction root and may
+// start its own. Either way the secondary lookup in progress becomes the
+// span's first segment.
 func (n *Node) newMSHR(a mem.Addr, kind mshrKind, excl bool) *mshr {
 	m := n.mshrPool.Get()
 	m.n, m.a, m.line = n, a, mem.LineOf(a)
 	m.kind, m.excl = kind, excl
 	m.invalidated = false
 	m.started = n.k.Now()
+	if ad := n.spanAdopt; ad != nil {
+		m.span, m.spanAdopted = ad, true
+	} else {
+		m.span, m.spanAdopted = n.spans().Start(n.spanKind(kind), n.id), false
+	}
+	m.span.Seg(span.KSegLookup, n.id)
 	return m
 }
 
@@ -109,6 +124,7 @@ type secFill struct {
 	line  mem.Line
 	stage sfStage
 	done  sim.Task
+	span  *span.Span
 }
 
 // sfStage is the secondary fill's next step when its event fires.
@@ -127,6 +143,7 @@ func (s *secFill) Act() {
 		fill := sim.Time(n.lat().FillPrim)
 		n.lockPrimary(n.k.Now()+fill, false)
 		s.stage = sfInstall
+		s.span.Seg(span.KSegFill, n.id)
 		n.k.AfterActor(fill, s)
 	case sfInstall:
 		// The line may have been invalidated or evicted from the
@@ -135,6 +152,8 @@ func (s *secFill) Act() {
 		if n.sec.State(s.line) != Invalid {
 			n.prim.Install(s.line)
 		}
+		s.span.End()
+		s.span = nil
 		d := s.done
 		s.done = sim.Task{}
 		n.secFills.Put(s)
@@ -163,6 +182,12 @@ func (n *Node) ReadTask(a mem.Addr, done sim.Task) {
 		s := n.secFills.Get()
 		s.n, s.line, s.done = n, l, done
 		s.stage = sfLock
+		kind := span.KTxnRead
+		if n.syncDepth > 0 {
+			kind = span.KTxnSync
+		}
+		s.span = n.spans().Start(kind, n.id)
+		s.span.Seg(span.KSegLookup, n.id)
 		n.k.AfterActor(sim.Time(n.lat().SecLookup), s)
 		return
 	}
@@ -203,6 +228,11 @@ func (n *Node) acquireOwnTask(a mem.Addr, done sim.Task) {
 	l := mem.LineOf(a)
 	if n.sec.State(l) == Dirty {
 		n.st.WriteOwnedHit++
+		// An adopted span (a write-buffer entry draining) records the
+		// ownership check; the entry ends the span at retirement.
+		if sp := n.spanAdopt; sp != nil {
+			sp.Seg(span.KSegLookup, n.id)
+		}
 		n.k.AfterTask(sim.Time(n.lat().SecCheckWrite), done)
 		return
 	}
@@ -273,7 +303,9 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 		if h.rec != nil {
 			h.rec.DirTxn(obs.DirForward)
 		}
-		h.send(owner, h.lat().WireForward, func() { owner.serveForward(l, req, m, false) })
+		m.span.Seg(span.KSegNet, h.id)
+		h.sendSpanTask(owner, h.lat().WireForward,
+			sim.FuncTask(func() { owner.serveForward(l, req, m, false) }), m.span)
 	}
 }
 
@@ -310,7 +342,8 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 				im := sharer.invals.Get()
 				im.n, im.req, im.line = sharer, req, l
 				im.stage = invArrive
-				h.sendTask(sharer, h.lat().Wire, sim.ActorTask(im))
+				im.span = m.span.Child(span.KSegInval, id)
+				h.sendSpanTask(sharer, h.lat().Wire, sim.ActorTask(im), im.span)
 			}
 		}
 		e.state = DirDirty
@@ -328,7 +361,9 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		if h.rec != nil {
 			h.rec.DirTxn(obs.DirForward)
 		}
-		h.send(owner, h.lat().WireForward, func() { owner.serveForward(l, req, m, true) })
+		m.span.Seg(span.KSegNet, h.id)
+		h.sendSpanTask(owner, h.lat().WireForward,
+			sim.FuncTask(func() { owner.serveForward(l, req, m, true) }), m.span)
 	}
 }
 
@@ -336,11 +371,12 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 // delivery the mshr continues with the fill tail.
 func (h *Node) replyFill(req *Node, m *mshr) {
 	m.stage = msFill
+	m.span.Seg(span.KSegReply, h.id)
 	if h == req {
 		h.k.AfterActor(0, m)
 		return
 	}
-	h.sendTask(req, h.lat().Wire, sim.ActorTask(m))
+	h.sendSpanTask(req, h.lat().Wire, sim.ActorTask(m), m.span)
 }
 
 // serveForward handles a request forwarded to this node as the recorded
@@ -356,6 +392,7 @@ func (o *Node) serveForward(l mem.Line, req *Node, m *mshr, write bool) {
 		om.queuedMsgs = append(om.queuedMsgs, func() { o.serveForward(l, req, m, write) })
 		return
 	}
+	m.span.Seg(span.KSegOwner, o.id)
 	lat := o.lat()
 	o.bus.Acquire(sim.Time(lat.BusHold), func() {
 		o.k.After(sim.Time(lat.OwnerAccess), func() {
@@ -376,7 +413,8 @@ func (o *Node) serveForward(l mem.Line, req *Node, m *mshr, write bool) {
 				panic(fmt.Sprintf("memsys: forward for line %#x reached node %d which is not owner (state %v)", l, o.id, o.sec.State(l)))
 			}
 			m.stage = msFill
-			o.sendTask(req, lat.Wire, sim.ActorTask(m))
+			m.span.Seg(span.KSegReply, o.id)
+			o.sendSpanTask(req, lat.Wire, sim.ActorTask(m), m.span)
 			// Completion to home: carries the sharing writeback (read)
 			// or the ownership-transfer notice (write) and unblocks the
 			// directory entry.
@@ -409,6 +447,7 @@ type invalMsg struct {
 	req   *Node // the writer awaiting the ack
 	line  mem.Line
 	stage invStage
+	span  *span.Span // child of the writer's transaction span, if sampled
 }
 
 // invStage is the invalidation's next step when its event fires.
@@ -436,7 +475,7 @@ func (im *invalMsg) Act() {
 			// the invalidation waited for the bus. The dirty copy is
 			// the newer incarnation; acknowledge without invalidating.
 			im.stage = invAck
-			n.sendTask(im.req, n.lat().Wire, sim.ActorTask(im))
+			n.sendSpanTask(im.req, n.lat().Wire, sim.ActorTask(im), im.span)
 			return
 		}
 		if m, ok := n.mshrs[l]; ok && !m.excl {
@@ -447,8 +486,10 @@ func (im *invalMsg) Act() {
 		n.sec.Invalidate(l)
 		n.prim.Invalidate(l)
 		im.stage = invAck
-		n.sendTask(im.req, n.lat().Wire, sim.ActorTask(im))
+		n.sendSpanTask(im.req, n.lat().Wire, sim.ActorTask(im), im.span)
 	case invAck:
+		im.span.End()
+		im.span = nil
 		im.req.ackArrived()
 		im.req = nil
 		n.invals.Put(im)
@@ -460,6 +501,7 @@ func (im *invalMsg) Act() {
 // fill for reads and prefetches) before completing the MSHR.
 func (n *Node) finishFill(m *mshr) {
 	lat := n.lat()
+	m.span.Seg(span.KSegFill, n.id)
 	if m.kind == mshrWrite {
 		m.stage = msComplete
 		n.k.AfterActor(sim.Time(lat.WriteGrant), m)
@@ -476,7 +518,7 @@ func (n *Node) completeFill(m *mshr) {
 	if vl, vstate, ok := n.sec.Victim(l); ok {
 		n.prim.Invalidate(vl)
 		if vstate == Dirty {
-			n.startWriteback(vl)
+			n.startWriteback(vl, m.span)
 		}
 		// Shared victims are dropped silently; the directory keeps a
 		// stale sharer bit and a later spurious invalidation is
@@ -507,6 +549,12 @@ func (n *Node) completeFill(m *mshr) {
 		}
 		n.rec.Miss(cl, n.IsLocal(m.a), n.k.Now()-m.started)
 	}
+	// An adopted span still belongs to the write-buffer entry, which ends
+	// it at retirement; a span this miss opened closes here.
+	if !m.spanAdopted {
+		m.span.End()
+	}
+	m.span, m.spanAdopted = nil, false
 	// Free-list discipline: unlink the record, run the callback lists by
 	// index (they may start new transactions, which draw fresh records —
 	// this one is not recycled until they are done), then clear and free.
@@ -524,7 +572,10 @@ func (n *Node) completeFill(m *mshr) {
 
 // startWriteback sends a dirty victim back to its home. The data stays in
 // the victim buffer (servicing any forwards) until the home acknowledges.
-func (n *Node) startWriteback(l mem.Line) {
+// parent is the span of the fill that evicted the victim (nil when
+// untraced); the writeback traces as its child so the waterfall can keep
+// background writeback traffic out of the stall attribution.
+func (n *Node) startWriteback(l mem.Line, parent *span.Span) {
 	if _, ok := n.victims[l]; ok {
 		panic(fmt.Sprintf("memsys: duplicate writeback for line %#x", l))
 	}
@@ -532,6 +583,8 @@ func (n *Node) startWriteback(l mem.Line) {
 	v.n, v.line = n, l
 	n.victims[l] = v
 	v.stage = vbToHome
+	v.span = parent.Child(span.KTxnWriteback, n.id)
+	v.span.Seg(span.KSegBus, n.id)
 	n.bus.AcquireActor(sim.Time(n.lat().BusHold), v)
 }
 
@@ -560,7 +613,8 @@ func (h *Node) dirWriteback(v *victimEntry) {
 		}
 	}
 	v.stage = vbAcked
-	h.sendTask(from, h.lat().Wire, sim.ActorTask(v))
+	v.span.Seg(span.KSegReply, h.id)
+	h.sendSpanTask(from, h.lat().Wire, sim.ActorTask(v), v.span)
 }
 
 // writebackAcked clears the victim buffer entry and retries accesses that
@@ -571,6 +625,8 @@ func (n *Node) writebackAcked(v *victimEntry) {
 		panic(fmt.Sprintf("memsys: writeback ack for unknown line %#x", l))
 	}
 	delete(n.victims, l)
+	v.span.End()
+	v.span = nil
 	for i := 0; i < len(v.waiters); i++ {
 		v.waiters[i]()
 	}
@@ -588,6 +644,11 @@ type uncachedOp struct {
 	read    bool
 	stage   ucStage
 	done    sim.Task
+
+	// span traces the access when sampled; adopted spans belong to the
+	// write-buffer entry that drained into this access (see mshr).
+	span        *span.Span
+	spanAdopted bool
 }
 
 // ucStage is the uncached access's next step when its event fires.
@@ -608,13 +669,16 @@ func (u *uncachedOp) Act() {
 	case ucPostBus:
 		if u.home == n {
 			u.stage = ucPostMem
+			u.span.Seg(span.KSegMem, n.id)
 			n.memc.AcquireActor(sim.Time(n.lat().MemHold), u)
 			return
 		}
 		u.stage = ucAtHome
-		n.sendTask(u.home, n.lat().Wire, sim.ActorTask(u))
+		u.span.Seg(span.KSegNet, n.id)
+		n.sendSpanTask(u.home, n.lat().Wire, sim.ActorTask(u), u.span)
 	case ucAtHome:
 		u.stage = ucPostMem
+		u.span.Seg(span.KSegMem, u.home.id)
 		u.home.memc.AcquireActor(sim.Time(u.home.lat().MemHold), u)
 	case ucPostMem:
 		if u.home == n {
@@ -623,9 +687,11 @@ func (u *uncachedOp) Act() {
 			return
 		}
 		u.stage = ucBack
-		u.home.sendTask(n, u.home.lat().Wire, sim.ActorTask(u))
+		u.span.Seg(span.KSegReply, u.home.id)
+		u.home.sendSpanTask(n, u.home.lat().Wire, sim.ActorTask(u), u.span)
 	case ucBack:
 		u.stage = ucFinish
+		u.span.Seg(span.KSegMem, n.id)
 		n.k.AfterActor(sim.Time(u.tail), u)
 	case ucFinish:
 		if u.read {
@@ -638,6 +704,10 @@ func (u *uncachedOp) Act() {
 			}
 			n.rec.Miss(cl, u.home == n, n.k.Now()-u.started)
 		}
+		if !u.spanAdopted {
+			u.span.End()
+		}
+		u.span, u.spanAdopted = nil, false
 		d := u.done
 		u.done = sim.Task{}
 		n.uncachedPool.Put(u)
@@ -652,6 +722,7 @@ func (n *Node) uncachedRead(a mem.Addr, done sim.Task) {
 	u := n.uncachedPool.Get()
 	u.n, u.home, u.read, u.done = n, n.home(a), true, done
 	u.started = n.k.Now()
+	n.spanUncached(u, span.KTxnRead)
 	if u.home == n {
 		u.tail = clampNonNeg(lat.UncachedReadLocal - 1 - lat.BusHold - lat.MemHold)
 	} else {
@@ -668,6 +739,7 @@ func (n *Node) uncachedWrite(a mem.Addr, done sim.Task) {
 	u := n.uncachedPool.Get()
 	u.n, u.home, u.read, u.done = n, n.home(a), false, done
 	u.started = n.k.Now()
+	n.spanUncached(u, span.KTxnWrite)
 	if u.home == n {
 		u.tail = clampNonNeg(lat.UncachedWriteLocal - lat.BusHold - lat.MemHold)
 	} else {
@@ -675,6 +747,20 @@ func (n *Node) uncachedWrite(a mem.Addr, done sim.Task) {
 	}
 	u.stage = ucPostBus
 	n.bus.AcquireActor(sim.Time(lat.BusHold), u)
+}
+
+// spanUncached opens (or adopts) the uncached access's span and records
+// the bus arbitration it is about to enter.
+func (n *Node) spanUncached(u *uncachedOp, kind span.Kind) {
+	if ad := n.spanAdopt; ad != nil {
+		u.span, u.spanAdopted = ad, true
+	} else {
+		if n.syncDepth > 0 {
+			kind = span.KTxnSync
+		}
+		u.span, u.spanAdopted = n.spans().Start(kind, n.id), false
+	}
+	u.span.Seg(span.KSegBus, n.id)
 }
 
 func clampNonNeg(v int) int {

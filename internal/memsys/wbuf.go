@@ -3,6 +3,7 @@ package memsys
 import (
 	"latsim/internal/config"
 	"latsim/internal/mem"
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 )
 
@@ -26,6 +27,10 @@ type wbEntry struct {
 	issued   bool
 	rel      Releaser
 	onRetire []sim.Task
+
+	// span traces the write from enqueue to retirement when sampled; the
+	// ownership transaction the entry drains into adopts it (spanAdopt).
+	span *span.Span
 }
 
 // Act implements sim.Actor: ownership of the line was acquired.
@@ -150,6 +155,12 @@ func (w *writeBuffer) enqueue(a mem.Addr, release bool, rel Releaser, onRetire s
 	e.addr, e.line = a, l
 	e.release, e.issued = release, false
 	e.rel = rel
+	kind := span.KTxnWrite
+	if release || w.n.syncDepth > 0 {
+		kind = span.KTxnSync
+	}
+	e.span = w.n.spans().Start(kind, w.n.id)
+	e.span.Seg(span.KSegWB, w.n.id)
 	if !onRetire.Zero() {
 		e.onRetire = append(e.onRetire, onRetire)
 	}
@@ -197,7 +208,12 @@ func (w *writeBuffer) drain() {
 		}
 		e.issued = true
 		w.inflight++
+		// Hand the entry's span to the ownership transaction it creates
+		// (created synchronously inside the call) so the miss path traces
+		// as part of the buffered write, then withdraw the offer.
+		w.n.spanAdopt = e.span
 		w.n.acquireOwnTask(e.addr, sim.ActorTask(e))
+		w.n.spanAdopt = nil
 	}
 }
 
@@ -224,6 +240,8 @@ func (w *writeBuffer) retire(e *wbEntry) {
 	}
 	e.onRetire = e.onRetire[:0]
 	e.rel = nil
+	e.span.End()
+	e.span = nil
 	w.pool.Put(e)
 	if len(w.spaceWaiters) > 0 {
 		fn := w.spaceWaiters[0]

@@ -68,6 +68,10 @@ func (l *Lock) Holder() int {
 // the lock line (the test&set); a held lock fetches a shared copy once and
 // then spins locally until handoff.
 func (l *Lock) Acquire(n *memsys.Node, granted func()) {
+	// Memory accesses issued here are synchronization protocol traffic;
+	// the bracket makes their sampled spans trace as sync transactions.
+	n.BeginSyncSpans()
+	defer n.EndSyncSpans()
 	if !l.held {
 		l.held = true
 		l.holder = n.ID()
@@ -95,9 +99,13 @@ func (l *Lock) ReleaseRetired() {
 	rest := l.waiters[1:]
 	l.waiters = append([]waiter(nil), rest...)
 	l.holder = next.n.ID()
+	next.n.BeginSyncSpans()
 	next.n.AcquireOwnership(l.addr, next.granted)
+	next.n.EndSyncSpans()
 	for _, o := range l.waiters {
+		o.n.BeginSyncSpans()
 		refetch(o.n, l.addr)
+		o.n.EndSyncSpans()
 	}
 }
 
@@ -138,6 +146,8 @@ func (b *Barrier) Total() int { return b.total }
 // ownership transaction itself; released runs when all participants have
 // arrived.
 func (b *Barrier) Arrive(n *memsys.Node, released func()) {
+	n.BeginSyncSpans()
+	defer n.EndSyncSpans()
 	n.AcquireOwnership(b.counterAddr, func() {
 		b.ArriveRetired(n, released)
 	})
@@ -147,6 +157,8 @@ func (b *Barrier) Arrive(n *memsys.Node, released func()) {
 // retired (the processor issued it as a release-marked store through the
 // write buffer). released runs when all participants have arrived.
 func (b *Barrier) ArriveRetired(n *memsys.Node, released func()) {
+	n.BeginSyncSpans()
+	defer n.EndSyncSpans()
 	b.arrived++
 	if b.arrived < b.total {
 		refetch(n, b.flagAddr)
@@ -161,7 +173,9 @@ func (b *Barrier) ArriveRetired(n *memsys.Node, released func()) {
 	n.AcquireOwnership(b.flagAddr, func() {
 		for _, w := range ws {
 			w := w
+			w.n.BeginSyncSpans()
 			refetchThen(w.n, b.flagAddr, w.granted)
+			w.n.EndSyncSpans()
 		}
 		released()
 	})

@@ -38,11 +38,24 @@ func (rep *Report) WriteArtifacts(dir, name string) (reportPath, tracePath strin
 }
 
 // ReadReport loads a report written by WriteArtifacts (or any JSON
-// encoding of a Report), for re-rendering without re-simulating.
+// encoding of a Report), for re-rendering without re-simulating. A file
+// stamped with a schema version newer than this binary understands is
+// refused outright — decoding it would silently drop the fields the
+// newer writer cared about.
 func ReadReport(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var ver struct {
+		Schema int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(b, &ver); err != nil {
+		return nil, fmt.Errorf("obs: decoding %s: %w", path, err)
+	}
+	if ver.Schema > ReportSchema {
+		return nil, fmt.Errorf("obs: %s has schema version %d, newer than this binary's %d — re-render it with the latsim build that wrote it",
+			path, ver.Schema, ReportSchema)
 	}
 	rep := &Report{}
 	if err := json.Unmarshal(b, rep); err != nil {

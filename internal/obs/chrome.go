@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
+
+	"latsim/internal/obs/span"
 )
 
 // WriteChromeTrace exports the report in the Chrome trace_event JSON
@@ -76,11 +79,85 @@ func (rep *Report) WriteChromeTrace(w io.Writer) error {
 		counter("mesh hops", "count", rep.MeshHops)
 	}
 
+	// Transaction spans, only present when span tracing was enabled —
+	// appended after all PR 3 events so span-free traces stay byte-stable.
+	if sp := rep.Spans; sp != nil && len(sp.Spans) > 0 {
+		emitSpanEvents(emit, sp)
+	}
+
 	bw.WriteString("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{")
 	fmt.Fprintf(bw, "\"elapsed_cycles\":%d,\"interval_cycles\":%d,\"procs\":%d,\"time_unit\":\"1us = 1 cycle\"",
 		rep.Elapsed, rep.Interval, rep.Procs)
 	bw.WriteString("}}\n")
 	return bw.Flush()
+}
+
+// emitSpanEvents renders the sampled transaction spans as a second trace
+// process ("latsim memory system", pid 2) with one thread track per
+// node: transaction roots become async ("b"/"e") events, their segments
+// become complete ("X") slices on the node they occupied, and flow
+// ("s"/"t"/"f") events with the root's ID join each transaction's
+// segment chain across node tracks so Perfetto draws the causal arrows.
+// Iteration follows record order (deterministic), nodes sorted.
+func emitSpanEvents(emit func(format string, args ...any), tr *span.Trace) {
+	emit(`{"ph":"M","pid":2,"tid":0,"name":"process_name","args":{"name":"latsim memory system"}}`)
+	seen := map[int]bool{}
+	var nodes []int
+	for i := range tr.Spans {
+		if n := tr.Spans[i].Node; !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		emit(`{"ph":"M","pid":2,"tid":%d,"name":"thread_name","args":{"name":"node %d"}}`, n+1, n)
+		emit(`{"ph":"M","pid":2,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, n+1, n)
+	}
+
+	var roots []*span.Rec
+	segsOf := map[uint64][]*span.Rec{}
+	for i := range tr.Spans {
+		r := &tr.Spans[i]
+		if r.Kind.Txn() {
+			roots = append(roots, r)
+			continue
+		}
+		segsOf[r.Parent] = append(segsOf[r.Parent], r)
+	}
+	for _, r := range roots {
+		emit(`{"ph":"b","pid":2,"tid":%d,"ts":%d,"id":%d,"name":%q,"cat":"txn"}`,
+			r.Node+1, r.Start, r.ID, r.Kind.String())
+		emit(`{"ph":"e","pid":2,"tid":%d,"ts":%d,"id":%d,"name":%q,"cat":"txn"}`,
+			r.Node+1, r.Start+r.Dur, r.ID, r.Kind.String())
+	}
+	for i := range tr.Spans {
+		r := &tr.Spans[i]
+		if r.Kind.Txn() {
+			continue
+		}
+		emit(`{"ph":"X","pid":2,"tid":%d,"ts":%d,"dur":%d,"name":%q,"cat":"span","args":{"txn":%d}}`,
+			r.Node+1, r.Start, r.Dur, r.Kind.String(), r.Parent)
+	}
+	for _, rt := range roots {
+		segs := segsOf[rt.ID]
+		if len(segs) < 2 {
+			continue // a flow needs at least a start and an end
+		}
+		for i, s := range segs {
+			switch {
+			case i == 0:
+				emit(`{"ph":"s","pid":2,"tid":%d,"ts":%d,"id":%d,"name":"txn flow","cat":"flow"}`,
+					s.Node+1, s.Start, rt.ID)
+			case i == len(segs)-1:
+				emit(`{"ph":"f","bp":"e","pid":2,"tid":%d,"ts":%d,"id":%d,"name":"txn flow","cat":"flow"}`,
+					s.Node+1, s.Start, rt.ID)
+			default:
+				emit(`{"ph":"t","pid":2,"tid":%d,"ts":%d,"id":%d,"name":"txn flow","cat":"flow"}`,
+					s.Node+1, s.Start, rt.ID)
+			}
+		}
+	}
 }
 
 // bucketName maps a Segment's bucket index to its stats name without

@@ -15,6 +15,7 @@
 package obs
 
 import (
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -39,6 +40,12 @@ type Options struct {
 	// MaxSegments caps the stored per-processor bucket segments
 	// (0 = DefaultMaxSegments, < 0 = unlimited).
 	MaxSegments int `json:"max_segments,omitempty"`
+	// SpanRate enables transaction-level span tracing, sampling roughly
+	// this fraction of transactions (1 traces everything, 0 disables —
+	// the default). See internal/obs/span.
+	SpanRate float64 `json:"span_rate,omitempty"`
+	// MaxSpans caps stored span records (0 = span.DefaultMaxRecs).
+	MaxSpans int `json:"max_spans,omitempty"`
 }
 
 // Class identifies the operation kind of a latency observation.
@@ -138,6 +145,11 @@ type Recorder struct {
 	meshLinks map[[2]int]uint64
 
 	hists [NumClasses][2]Hist // [class][0=local 1=remote]
+
+	// Spans is the transaction-level tracer, nil unless Options.SpanRate
+	// is set. Model code threads the possibly-nil pointer through its
+	// transactions; every tracer method is nil-safe.
+	Spans *span.Tracer
 }
 
 // NewRecorder builds a recorder for a machine with nprocs processors
@@ -157,6 +169,7 @@ func NewRecorder(k *sim.Kernel, nprocs int, opts Options) *Recorder {
 	if r.maxSegs == 0 {
 		r.maxSegs = DefaultMaxSegments
 	}
+	r.Spans = span.NewTracer(k, opts.SpanRate, opts.MaxSpans)
 	return r
 }
 

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
@@ -261,6 +263,106 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("Chrome trace drifted from golden file; run 'go test ./internal/obs -run Golden -update' if intentional.\ngot:  %s", buf.Bytes())
+	}
+}
+
+// goldenSpanReport extends the golden report with a sampled transaction:
+// a remote-dirty read whose reply crosses the requester's node, plus an
+// overlapping invalidation child, exercising every flow-event shape.
+func goldenSpanReport() *Report {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 2, Options{Interval: 64, SpanRate: 1})
+	sp := r.Spans.Start(span.KTxnRead, 0)
+	sp.Seg(span.KSegLookup, 0)
+	k.RunUntil(7)
+	sp.Seg(span.KSegNet, 0)
+	k.RunUntil(30)
+	sp.Seg(span.KSegDir, 1)
+	iv := sp.Child(span.KSegInval, 1)
+	k.RunUntil(41)
+	iv.End()
+	sp.Seg(span.KSegReply, 1)
+	k.RunUntil(64)
+	sp.Seg(span.KSegFill, 0)
+	k.RunUntil(72)
+	sp.End()
+	r.Account(0, stats.Busy, 50)
+	r.Account(0, stats.ReadStall, 72)
+	r.Miss(ReadMiss, false, 72)
+	rep := r.Finish(150)
+	rep.Waterfall = span.Attribute(rep.Spans, []span.ProcStalls{{Proc: 0, Read: 72}})
+	return rep
+}
+
+// TestChromeTraceSpanGolden locks down the flow-event export: the trace
+// must stay Perfetto-loadable JSON carrying async span events and flow
+// arrows, byte-identical to the golden file.
+func TestChromeTraceSpanGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSpanReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+	}
+	// One async begin/end pair for the root, a flow start and finish (and
+	// at least one step) joining the segment chain.
+	for _, ph := range []string{"b", "e", "s", "t", "f"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in span trace; phases = %v", ph, phases)
+		}
+	}
+
+	golden := filepath.Join("testdata", "golden_span.trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("span trace drifted from golden file; run 'go test ./internal/obs -run Golden -update' if intentional.\ngot:  %s", buf.Bytes())
+	}
+}
+
+// TestReadReportVersionSkew: a report stamped with a newer schema than
+// this binary must be refused with a clear error, never decoded into a
+// zero-value report.
+func TestReadReportVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	newer := filepath.Join(dir, "newer.report.json")
+	body := []byte(`{"schema_version":` + "999" + `,"interval":64,"elapsed":1,"procs":1}`)
+	if err := os.WriteFile(newer, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(newer); err == nil {
+		t.Fatal("newer-schema report was accepted")
+	} else if !strings.Contains(err.Error(), "schema version 999") {
+		t.Errorf("error does not name the version skew: %v", err)
+	}
+
+	// Pre-v4 reports carry no schema field and must stay readable.
+	old := filepath.Join(dir, "old.report.json")
+	if err := os.WriteFile(old, []byte(`{"interval":64,"elapsed":1,"procs":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(old)
+	if err != nil {
+		t.Fatalf("version-less report refused: %v", err)
+	}
+	if rep.Schema != 0 || rep.Interval != 64 {
+		t.Errorf("old report decoded as %+v", rep)
 	}
 }
 

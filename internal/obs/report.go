@@ -5,9 +5,18 @@ import (
 	"io"
 	"sort"
 
+	"latsim/internal/obs/span"
 	"latsim/internal/sim"
 	"latsim/internal/stats"
 )
+
+// ReportSchema is the report format version, stamped into every written
+// report so a reader can detect files from a newer latsim (ReadReport
+// refuses them instead of decoding a partial struct). It moves in
+// lockstep with runner.SchemaVersion.
+//
+// v4: transaction spans + critical-path waterfall.
+const ReportSchema = 4
 
 // NamedSeries is one per-interval counter series.
 type NamedSeries struct {
@@ -44,6 +53,8 @@ type Track struct {
 // All numeric fields are integral so the report round-trips exactly
 // through JSON; Elapsed times and series values are simulated cycles.
 type Report struct {
+	// Schema is ReportSchema at write time (0 in pre-v4 files).
+	Schema   int    `json:"schema_version,omitempty"`
 	Interval uint64 `json:"interval"`
 	Elapsed  uint64 `json:"elapsed"`
 	Procs    int    `json:"procs"`
@@ -75,6 +86,13 @@ type Report struct {
 	// after Options.MaxSegments was reached.
 	Tracks          []Track `json:"tracks"`
 	SegmentsDropped uint64  `json:"segments_dropped,omitempty"`
+
+	// Spans is the sampled transaction-span trace and Waterfall its
+	// critical-path stall attribution; both nil unless Options.SpanRate
+	// enabled tracing (the Waterfall is attached by machine.RunContext,
+	// which owns the stall totals).
+	Spans     *span.Trace     `json:"spans,omitempty"`
+	Waterfall *span.Waterfall `json:"waterfall,omitempty"`
 }
 
 // Finish closes the recorder at the run's end time and assembles the
@@ -89,6 +107,7 @@ func (r *Recorder) Finish(elapsed sim.Time) *Report {
 	n := len(r.kernelCum)
 
 	rep := &Report{
+		Schema:          ReportSchema,
 		Interval:        r.interval,
 		Elapsed:         uint64(elapsed),
 		Procs:           len(r.cursors),
@@ -144,6 +163,7 @@ func (r *Recorder) Finish(elapsed sim.Time) *Report {
 	for p, segs := range r.segs {
 		rep.Tracks = append(rep.Tracks, Track{Proc: p, Segments: segs})
 	}
+	rep.Spans = r.Spans.Finish()
 	return rep
 }
 
@@ -233,4 +253,22 @@ func (rep *Report) Summary(w io.Writer) {
 		fmt.Fprintf(w, " (%d dropped at cap)", rep.SegmentsDropped)
 	}
 	fmt.Fprintln(w)
+	if sp := rep.Spans; sp != nil {
+		fmt.Fprintf(w, "  spans: %d of %d transactions sampled (1/%d), %d records",
+			sp.Sampled, sp.Seen, sp.Every, len(sp.Spans))
+		if sp.Dropped > 0 {
+			fmt.Fprintf(w, " (%d dropped at cap)", sp.Dropped)
+		}
+		fmt.Fprintln(w)
+	}
+	if wf := rep.Waterfall; wf != nil && len(wf.Total) > 0 {
+		fmt.Fprintf(w, "  %-12s %12s %12s  %s\n", "stall bucket", "cycles", "dominant", "attribution")
+		for _, b := range wf.Total {
+			fmt.Fprintf(w, "  %-12s %12d %12s ", b.Bucket, b.StallCycles, b.Dominant)
+			for _, s := range b.Segments {
+				fmt.Fprintf(w, " %s=%d", s.Kind, s.Attributed)
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }

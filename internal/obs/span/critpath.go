@@ -1,0 +1,249 @@
+package span
+
+// Critical-path analysis: the paper's execution-time breakdown says how
+// many cycles each processor stalled for reads, writes, synchronization
+// and prefetch overhead; the sampled spans say where the cycles of
+// individual transactions of each kind went. Attribute joins the two into
+// a "latency waterfall": each stall bucket's cycles, apportioned across
+// segment kinds in proportion to the sampled per-kind cycle mix, so the
+// attributed totals reconcile exactly with the bucket accounting while
+// decomposing it one level deeper (network vs. directory vs.
+// invalidation vs. memory).
+
+// Category groups segment kinds into the four top-level latency sources.
+func Category(k Kind) string {
+	switch k {
+	case KSegNet, KSegLink, KSegReply:
+		return "network"
+	case KSegDir:
+		return "directory"
+	case KSegInval:
+		return "invalidation"
+	default:
+		return "memory"
+	}
+}
+
+// waterfallBuckets are the stall buckets the analyzer decomposes, named
+// as in the Chrome trace export. Writebacks are background traffic and
+// excluded.
+var waterfallBuckets = [...]struct {
+	txn  Kind
+	name string
+}{
+	{KTxnRead, "read"},
+	{KTxnWrite, "write"},
+	{KTxnSync, "sync"},
+	{KTxnPrefetch, "pf_overhead"},
+}
+
+// ProcStalls carries one processor's stall-bucket totals (from
+// stats.Proc) into the analyzer, in the waterfallBuckets order.
+type ProcStalls struct {
+	Proc                        int
+	Read, Write, Sync, Prefetch uint64
+}
+
+func (p *ProcStalls) bucket(i int) uint64 {
+	return [...]uint64{p.Read, p.Write, p.Sync, p.Prefetch}[i]
+}
+
+// SegmentShare is one segment kind's slice of a stall bucket: Cycles is
+// what the sample observed, Attributed is the bucket's stall cycles
+// scaled onto this kind.
+type SegmentShare struct {
+	Kind       string `json:"kind"`
+	Category   string `json:"category"`
+	Cycles     uint64 `json:"cycles"`
+	Attributed uint64 `json:"attributed"`
+}
+
+// BucketWaterfall decomposes one stall bucket. The Segments' Attributed
+// values sum exactly to StallCycles (a bucket with stalls but no sampled
+// transactions carries a single "unsampled" share).
+type BucketWaterfall struct {
+	Bucket        string         `json:"bucket"`
+	StallCycles   uint64         `json:"stall_cycles"`
+	SampledTxns   uint64         `json:"sampled_txns"`
+	SampledCycles uint64         `json:"sampled_cycles"`
+	Segments      []SegmentShare `json:"segments,omitempty"`
+	Dominant      string         `json:"dominant,omitempty"`
+}
+
+// ProcWaterfall is one processor's waterfall.
+type ProcWaterfall struct {
+	Proc    int               `json:"proc"`
+	Buckets []BucketWaterfall `json:"buckets"`
+}
+
+// Waterfall is the machine-wide and per-processor critical-path
+// decomposition of one run.
+type Waterfall struct {
+	Total []BucketWaterfall `json:"total"`
+	Procs []ProcWaterfall   `json:"procs,omitempty"`
+}
+
+// aggregate accumulates sampled cycles for one (scope, bucket) pair.
+type aggregate struct {
+	txns   uint64
+	cycles uint64
+	seg    [NumKinds]uint64
+}
+
+// Attribute builds the waterfall for a finished trace against the
+// per-processor stall totals. Returns nil when tr is nil.
+func Attribute(tr *Trace, stalls []ProcStalls) *Waterfall {
+	if tr == nil {
+		return nil
+	}
+	byID := make(map[uint64]*Rec, len(tr.Spans))
+	for i := range tr.Spans {
+		byID[tr.Spans[i].ID] = &tr.Spans[i]
+	}
+	bucketOf := map[Kind]int{}
+	for i, b := range waterfallBuckets {
+		bucketOf[b.txn] = i
+	}
+
+	nb := len(waterfallBuckets)
+	total := make([]aggregate, nb)
+	perProc := make(map[int][]aggregate)
+	acc := func(proc, bucket int, f func(*aggregate)) {
+		f(&total[bucket])
+		aggs := perProc[proc]
+		if aggs == nil {
+			aggs = make([]aggregate, nb)
+			perProc[proc] = aggs
+		}
+		f(&aggs[bucket])
+	}
+
+	// root resolves a record to its transaction root (nil for orphans —
+	// segments of spans still open when the run ended).
+	root := func(r *Rec) *Rec {
+		for d := 0; d < 8; d++ {
+			if r.Kind.Txn() {
+				return r
+			}
+			p, ok := byID[r.Parent]
+			if !ok {
+				return nil
+			}
+			r = p
+		}
+		return nil
+	}
+
+	for i := range tr.Spans {
+		r := &tr.Spans[i]
+		if r.Kind.Txn() {
+			b, ok := bucketOf[r.Kind]
+			if !ok { // writeback: background traffic
+				continue
+			}
+			acc(r.Node, b, func(a *aggregate) { a.txns++; a.cycles += r.Dur })
+			continue
+		}
+		rt := root(r)
+		if rt == nil {
+			continue
+		}
+		b, ok := bucketOf[rt.Kind]
+		if !ok {
+			continue
+		}
+		acc(rt.Node, b, func(a *aggregate) { a.seg[r.Kind] += r.Dur })
+	}
+
+	w := &Waterfall{}
+	for i := range waterfallBuckets {
+		var stall uint64
+		for p := range stalls {
+			stall += stalls[p].bucket(i)
+		}
+		if bw, ok := buildBucket(i, stall, total[i]); ok {
+			w.Total = append(w.Total, bw)
+		}
+	}
+	for p := range stalls {
+		ps := &stalls[p]
+		pw := ProcWaterfall{Proc: ps.Proc}
+		aggs := perProc[ps.Proc]
+		for i := range waterfallBuckets {
+			var a aggregate
+			if aggs != nil {
+				a = aggs[i]
+			}
+			if bw, ok := buildBucket(i, ps.bucket(i), a); ok {
+				pw.Buckets = append(pw.Buckets, bw)
+			}
+		}
+		if len(pw.Buckets) > 0 {
+			w.Procs = append(w.Procs, pw)
+		}
+	}
+	return w
+}
+
+// buildBucket apportions stall cycles across the observed segment mix.
+// The integer split floors each share and hands the remainder to the
+// largest, so the shares sum to stall exactly.
+func buildBucket(bucket int, stall uint64, a aggregate) (BucketWaterfall, bool) {
+	bw := BucketWaterfall{
+		Bucket:        waterfallBuckets[bucket].name,
+		StallCycles:   stall,
+		SampledTxns:   a.txns,
+		SampledCycles: a.cycles,
+	}
+	if stall == 0 && a.txns == 0 {
+		return bw, false
+	}
+	var segTotal uint64
+	for _, c := range a.seg {
+		segTotal += c
+	}
+	if segTotal == 0 {
+		if stall > 0 {
+			bw.Segments = []SegmentShare{{Kind: "unsampled",
+				Category: "unsampled", Attributed: stall}}
+			bw.Dominant = "unsampled"
+		}
+		return bw, true
+	}
+	var attributed, biggestCycles uint64
+	biggest := 0
+	for k := KSegLookup; k < NumKinds; k++ {
+		c := a.seg[k]
+		if c == 0 {
+			continue
+		}
+		share := SegmentShare{Kind: k.String(), Category: Category(k),
+			Cycles: c, Attributed: stall * c / segTotal}
+		attributed += share.Attributed
+		bw.Segments = append(bw.Segments, share)
+		if c > biggestCycles {
+			biggest, biggestCycles = len(bw.Segments)-1, c
+		}
+	}
+	bw.Segments[biggest].Attributed += stall - attributed
+	if stall > 0 {
+		bw.Dominant = dominant(bw.Segments)
+	}
+	return bw, true
+}
+
+// dominant returns the category with the most attributed cycles (first
+// wins ties, in category order network/directory/invalidation/memory).
+func dominant(shares []SegmentShare) string {
+	sums := map[string]uint64{}
+	for _, s := range shares {
+		sums[s.Category] += s.Attributed
+	}
+	best, bestV := "", uint64(0)
+	for _, cat := range [...]string{"network", "directory", "invalidation", "memory"} {
+		if v, ok := sums[cat]; ok && (best == "" || v > bestV) {
+			best, bestV = cat, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,265 @@
+package span
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"latsim/internal/sim"
+)
+
+// TestRemoteDirtyWaterfall hand-builds the worst transaction in Table 1 —
+// a 3-hop remote read of a dirty line (requester 0 → home 1 → dirty
+// owner 2 → reply), 89 cycles after the 1-cycle issue of the paper's
+// 90-cycle figure — and asserts the recorded spans and the attributed
+// waterfall exactly.
+func TestRemoteDirtyWaterfall(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 0)
+
+	sp := tr.Start(KTxnRead, 0)
+	sp.Seg(KSegLookup, 0) // secondary lookup: 7
+	k.RunUntil(7)
+	sp.Seg(KSegBus, 0) // bus to the network interface: 4
+	k.RunUntil(11)
+	sp.Seg(KSegNet, 0) // request wire to home: 2*NI + wire = 23
+	k.RunUntil(34)
+	sp.Seg(KSegDir, 1) // home directory + memory hold: 6
+	k.RunUntil(40)
+	sp.Seg(KSegNet, 1) // forward to the dirty owner: 2*NI + 3 = 11
+	k.RunUntil(51)
+	sp.Seg(KSegOwner, 2) // owner bus + cache access: 4 + 3
+	k.RunUntil(58)
+	sp.Seg(KSegReply, 2) // reply wire to the requester: 23
+	k.RunUntil(81)
+	sp.Seg(KSegFill, 0) // secondary + primary fill: 2 + 6
+	k.RunUntil(89)
+	sp.End()
+
+	trace := tr.Finish()
+	wantRecs := []Rec{
+		{ID: 2, Parent: 1, Kind: KSegLookup, Node: 0, Start: 0, Dur: 7},
+		{ID: 3, Parent: 1, Kind: KSegBus, Node: 0, Start: 7, Dur: 4},
+		{ID: 4, Parent: 1, Kind: KSegNet, Node: 0, Start: 11, Dur: 23},
+		{ID: 5, Parent: 1, Kind: KSegDir, Node: 1, Start: 34, Dur: 6},
+		{ID: 6, Parent: 1, Kind: KSegNet, Node: 1, Start: 40, Dur: 11},
+		{ID: 7, Parent: 1, Kind: KSegOwner, Node: 2, Start: 51, Dur: 7},
+		{ID: 8, Parent: 1, Kind: KSegReply, Node: 2, Start: 58, Dur: 23},
+		{ID: 9, Parent: 1, Kind: KSegFill, Node: 0, Start: 81, Dur: 8},
+		{ID: 1, Kind: KTxnRead, Node: 0, Start: 0, Dur: 89},
+	}
+	if !reflect.DeepEqual(trace.Spans, wantRecs) {
+		t.Fatalf("recorded spans:\n%+v\nwant:\n%+v", trace.Spans, wantRecs)
+	}
+	if trace.Seen != 1 || trace.Sampled != 1 || trace.Dropped != 0 {
+		t.Fatalf("trace counters: %+v", trace)
+	}
+
+	// Ten such misses' worth of read stall apportions 10x onto each
+	// segment kind, remainder-free, dominated by the network.
+	w := Attribute(trace, []ProcStalls{{Proc: 0, Read: 890}})
+	wantBucket := BucketWaterfall{
+		Bucket: "read", StallCycles: 890, SampledTxns: 1, SampledCycles: 89,
+		Segments: []SegmentShare{
+			{Kind: "lookup", Category: "memory", Cycles: 7, Attributed: 70},
+			{Kind: "bus", Category: "memory", Cycles: 4, Attributed: 40},
+			{Kind: "net", Category: "network", Cycles: 34, Attributed: 340},
+			{Kind: "dir", Category: "directory", Cycles: 6, Attributed: 60},
+			{Kind: "owner", Category: "memory", Cycles: 7, Attributed: 70},
+			{Kind: "reply", Category: "network", Cycles: 23, Attributed: 230},
+			{Kind: "fill", Category: "memory", Cycles: 8, Attributed: 80},
+		},
+		Dominant: "network",
+	}
+	want := &Waterfall{
+		Total: []BucketWaterfall{wantBucket},
+		Procs: []ProcWaterfall{{Proc: 0, Buckets: []BucketWaterfall{wantBucket}}},
+	}
+	if !reflect.DeepEqual(w, want) {
+		got, _ := json.MarshalIndent(w, "", " ")
+		exp, _ := json.MarshalIndent(want, "", " ")
+		t.Fatalf("waterfall:\n%s\nwant:\n%s", got, exp)
+	}
+}
+
+// TestAttributeExactness checks the integer split: attributed shares must
+// sum to the stall total exactly even when the proportions don't divide.
+func TestAttributeExactness(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 0)
+	sp := tr.Start(KTxnWrite, 3)
+	sp.Seg(KSegWB, 3)
+	k.RunUntil(3)
+	sp.Seg(KSegDir, 1)
+	k.RunUntil(10)
+	sp.End()
+
+	w := Attribute(tr.Finish(), []ProcStalls{{Proc: 3, Write: 101}})
+	var sum uint64
+	for _, s := range w.Total[0].Segments {
+		sum += s.Attributed
+	}
+	if sum != 101 {
+		t.Fatalf("attributed shares sum to %d, want 101", sum)
+	}
+	// 101*7/10 floors to 70; the remainder cycle lands on dir (largest).
+	if s := w.Total[0].Segments[1]; s.Kind != "dir" || s.Attributed != 71 {
+		t.Fatalf("remainder misplaced: %+v", w.Total[0].Segments)
+	}
+}
+
+// TestAttributeUnsampled: a bucket with stall cycles but no sampled
+// transactions must carry an explicit unsampled share, not vanish.
+func TestAttributeUnsampled(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 0)
+	w := Attribute(tr.Finish(), []ProcStalls{{Proc: 0, Sync: 42}})
+	if len(w.Total) != 1 || w.Total[0].Bucket != "sync" {
+		t.Fatalf("waterfall: %+v", w)
+	}
+	want := []SegmentShare{{Kind: "unsampled", Category: "unsampled", Attributed: 42}}
+	if !reflect.DeepEqual(w.Total[0].Segments, want) {
+		t.Fatalf("segments: %+v", w.Total[0].Segments)
+	}
+}
+
+// TestChildOverlap: overlapping children (invalidation fan-out) record
+// independently and attribute to the root's bucket through the parent
+// link.
+func TestChildOverlap(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 0)
+	sp := tr.Start(KTxnSync, 0)
+	sp.Seg(KSegDir, 1)
+	a := sp.Child(KSegInval, 2)
+	b := sp.Child(KSegInval, 3)
+	k.RunUntil(5)
+	a.End()
+	k.RunUntil(9)
+	b.End()
+	sp.End()
+
+	trace := tr.Finish()
+	w := Attribute(trace, []ProcStalls{{Proc: 0, Sync: 230}})
+	// Sampled: dir 9, inval 5+9=14 cycles. 230*9/23 = 90, 230*14/23 = 140.
+	seg := w.Total[0].Segments
+	if len(seg) != 2 || seg[0].Kind != "dir" || seg[0].Attributed != 90 ||
+		seg[1].Kind != "inval" || seg[1].Attributed != 140 {
+		t.Fatalf("segments: %+v", seg)
+	}
+	if w.Total[0].Dominant != "invalidation" {
+		t.Fatalf("dominant %q, want invalidation", w.Total[0].Dominant)
+	}
+}
+
+// TestWritebackExcluded: writeback spans are background traffic and must
+// not appear in any stall bucket.
+func TestWritebackExcluded(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 0)
+	sp := tr.Start(KTxnRead, 0)
+	vb := sp.Child(KTxnWriteback, 0)
+	vb.Seg(KSegNet, 0)
+	k.RunUntil(23)
+	vb.End()
+	sp.End()
+
+	w := Attribute(tr.Finish(), []ProcStalls{{Proc: 0, Read: 100}})
+	if len(w.Total) != 1 || w.Total[0].Bucket != "read" {
+		t.Fatalf("waterfall: %+v", w.Total)
+	}
+	// The writeback's net segment must not leak into the read bucket.
+	if len(w.Total[0].Segments) != 1 || w.Total[0].Segments[0].Kind != "unsampled" {
+		t.Fatalf("writeback leaked into read bucket: %+v", w.Total[0].Segments)
+	}
+}
+
+// TestSampling: a 1-in-4 rate samples transactions 1, 5, 9, ... and
+// returns nil handles (safe to use) for the rest.
+func TestSampling(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 0.25, 0)
+	var sampled int
+	for i := 0; i < 10; i++ {
+		sp := tr.Start(KTxnRead, 0)
+		if sp != nil {
+			sampled++
+		}
+		sp.Seg(KSegBus, 0) // nil-safe on the unsampled handles
+		sp.End()
+	}
+	if sampled != 3 { // transactions 1, 5, 9
+		t.Fatalf("sampled %d of 10 at rate 1/4, want 3", sampled)
+	}
+	trace := tr.Finish()
+	if trace.Every != 4 || trace.Seen != 10 || trace.Sampled != 3 {
+		t.Fatalf("counters: %+v", trace)
+	}
+}
+
+// TestNilSafety: every method must be a no-op on nil receivers — the
+// disabled path.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(KTxnRead, 0)
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.Seg(KSegBus, 0)
+	c := sp.Child(KSegInval, 1)
+	c.End()
+	sp.End()
+	if tr.Finish() != nil {
+		t.Fatal("nil tracer produced a trace")
+	}
+	if NewTracer(sim.NewKernel(), 0, 0) != nil {
+		t.Fatal("rate 0 must disable tracing")
+	}
+	if Attribute(nil, nil) != nil {
+		t.Fatal("nil trace produced a waterfall")
+	}
+}
+
+// TestPoolReuse: End must recycle the handle so steady-state tracing
+// allocates no new spans.
+func TestPoolReuse(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 0)
+	a := tr.Start(KTxnRead, 0)
+	a.End()
+	b := tr.Start(KTxnRead, 0)
+	if a != b {
+		t.Fatal("ended span was not recycled")
+	}
+	b.End()
+}
+
+// TestRecordCap: past maxRecs the tracer counts drops instead of growing.
+func TestRecordCap(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewTracer(k, 1, 2)
+	for i := 0; i < 3; i++ {
+		tr.Start(KTxnRead, 0).End()
+	}
+	trace := tr.Finish()
+	if len(trace.Spans) != 2 || trace.Dropped != 1 {
+		t.Fatalf("cap not enforced: %d recs, %d dropped", len(trace.Spans), trace.Dropped)
+	}
+}
+
+// TestKindJSONRoundTrip: kinds encode as names and decode back (the
+// runner cache re-serializes reports).
+func TestKindJSONRoundTrip(t *testing.T) {
+	in := Rec{ID: 1, Kind: KSegInval, Node: 2, Start: 3, Dur: 4}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Rec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip %+v -> %s -> %+v", in, b, out)
+	}
+}

@@ -30,7 +30,10 @@ import (
 //
 // v3: machine.Result carries an optional obs.Report; Job gained the Obs
 // and Trace fields.
-const SchemaVersion = 3
+//
+// v4: the report carries transaction spans and the critical-path
+// waterfall (obs.ReportSchema moves in lockstep).
+const SchemaVersion = 4
 
 // Job names one deterministic simulation: an application, a data-set
 // scale, an optional workload seed override (0 keeps the paper's seeds),

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"latsim/internal/machine"
+)
+
+func startTelemetry(t *testing.T, src func() Metrics) *Telemetry {
+	t.Helper()
+	tel, err := ServeTelemetry("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tel.Close() })
+	return tel
+}
+
+func TestTelemetryMetrics(t *testing.T) {
+	m := Metrics{
+		Submitted: 12, Deduped: 2, Queued: 3, Running: 1,
+		Executed: 4, CacheHits: 1, Failed: 1,
+		SimCycles: 99999, SimEvents: 12345,
+		WallTime: 1500 * time.Millisecond,
+	}
+	tel := startTelemetry(t, func() Metrics { return m })
+	resp, err := http.Get("http://" + tel.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, want := range []string{
+		"# TYPE latsim_jobs_queued gauge",
+		"latsim_jobs_queued 3",
+		"latsim_jobs_running 1",
+		"latsim_jobs_done 6", // 4 executed + 1 cached + 1 failed
+		"# TYPE latsim_jobs_executed_total counter",
+		"latsim_jobs_executed_total 4",
+		"latsim_jobs_cache_hits_total 1",
+		"latsim_sim_cycles_total 99999",
+		"latsim_sim_events_total 12345",
+		"latsim_job_wall_seconds_total 1.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestTelemetryProgressStream(t *testing.T) {
+	var calls atomic.Int64
+	tel, err := serveTelemetry("127.0.0.1:0", func() Metrics {
+		return Metrics{Submitted: calls.Add(1)}
+	}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tel.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+tel.Addr()+"/progress", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var snaps []Metrics
+	for len(snaps) < 3 && sc.Scan() {
+		var m Metrics
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad progress line %q: %v", sc.Text(), err)
+		}
+		snaps = append(snaps, m)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("got %d snapshots, want 3 (scan err %v)", len(snaps), sc.Err())
+	}
+	if snaps[2].Submitted <= snaps[0].Submitted {
+		t.Errorf("snapshots not advancing: %+v", snaps)
+	}
+}
+
+func TestTelemetryPprof(t *testing.T) {
+	tel := startTelemetry(t, func() Metrics { return Metrics{} })
+	resp, err := http.Get("http://" + tel.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestTelemetryLiveRunner(t *testing.T) {
+	r, err := New(Options{Workers: 2}, func(_ context.Context, j Job) (*machine.Result, error) {
+		time.Sleep(time.Millisecond)
+		return fakeResult(j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := startTelemetry(t, r.Metrics)
+	for i := 0; i < 5; i++ {
+		r.Submit(context.Background(), testJob(i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + tel.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(b), "latsim_jobs_done 5") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never drained; metrics:\n%s", b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
