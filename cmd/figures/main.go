@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures [-scale small|paper] [-exp id[,id...]] [-jobs N]
-//	        [-cache-dir DIR] [-timeout D] [-obs] [-obs-dir DIR]
+//	        [-cache-dir DIR] [-timeout D] [-obs] [-obs-dir DIR] [-check]
 //
 // -exp takes one or more comma-separated experiment ids (or "all").
 // Independent simulations run in parallel on -jobs workers; -cache-dir
@@ -13,7 +13,10 @@
 // small scale keeps the workload structure at reduced size. -obs records
 // observability data on every run and writes per-bar report + Chrome
 // trace artifacts for the figure experiments; -obs-span-rate controls
-// how many transactions the span tracer samples. -listen serves live
+// how many transactions the span tracer samples. -check runs every
+// simulation under the runtime coherence invariant checker: a violated
+// invariant fails the experiment instead of producing a figure. -listen
+// serves live
 // telemetry (Prometheus /metrics, streaming /progress, /debug/pprof)
 // while the sweep is in flight:
 //
@@ -52,6 +55,7 @@ func realMain() int {
 	obsDir := flag.String("obs-dir", "", "directory for observability artifacts (implies -obs; default \"obs\")")
 	spanRate := flag.Float64("obs-span-rate", 1.0/64, "transaction span-tracing sample rate in (0, 1] when -obs is set (0 = off)")
 	listen := flag.String("listen", "", "serve live telemetry (Prometheus /metrics, /progress, /debug/pprof) on this host:port")
+	checkFlag := flag.Bool("check", false, "run every simulation under the coherence invariant checker; violations fail the experiment")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -98,6 +102,7 @@ func realMain() int {
 	if *obsFlag {
 		s.Obs = &obs.Options{SpanRate: *spanRate}
 	}
+	s.Check = *checkFlag
 	if *listen != "" {
 		tel, err := runner.ServeTelemetry(*listen, s.Metrics)
 		if err != nil {

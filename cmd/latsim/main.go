@@ -6,13 +6,15 @@
 //	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
 //	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
 //	       [-timeout D] [-seed N] [-obs] [-obs-dir DIR] [-obs-interval N]
-//	       [-obs-span-rate R]
+//	       [-obs-span-rate R] [-check]
 //
 // -timeout bounds the run's wall-clock time: the simulation is canceled
 // through the job engine's context when it expires. -obs enables the
 // observability recorder and writes <dir>/<run>.report.json plus a
 // Perfetto-loadable <run>.trace.json (see the README's Observability
-// section).
+// section). -check runs the simulation under the runtime coherence
+// invariant checker (internal/check): any violation aborts the run with
+// the offending line address, node and cycle.
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 	obsDir := flag.String("obs-dir", "", "directory for observability artifacts (implies -obs; default \"obs\")")
 	obsInterval := flag.Uint64("obs-interval", 0, "observability sampling interval in cycles (0 = default)")
 	spanRate := flag.Float64("obs-span-rate", 1.0/64, "transaction span-tracing sample rate in (0, 1] when -obs is set (0 = off)")
+	checkFlag := flag.Bool("check", false, "run under the coherence invariant checker; violations abort the run")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -82,6 +85,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "latsim:", err)
 		os.Exit(2)
 	}
+	if *checkFlag {
+		if err := config.ValidateCheck(&cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "latsim:", err)
+			os.Exit(2)
+		}
+	}
 
 	s := core.NewSession(scale)
 	s.Seed = *seed
@@ -93,6 +102,7 @@ func main() {
 	if *obsFlag {
 		s.Obs = &obs.Options{Interval: *obsInterval, SpanRate: *spanRate}
 	}
+	s.Check = *checkFlag
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -125,6 +135,9 @@ func main() {
 	fmt.Printf("  shared data:        %d KB\n", res.SharedBytes/1024)
 	fmt.Printf("  median run length:  %d cycles\n", res.MedianRunLength())
 	fmt.Printf("  sim events:         %d\n", res.Events)
+	if *checkFlag {
+		fmt.Printf("  invariant checks:   %d (0 violations)\n", res.InvariantChecks)
+	}
 
 	if res.Obs != nil {
 		res.Obs.Summary(os.Stdout)

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runGolden checks one analyzer against one fixture package: every
+// `// want` comment must be matched by a diagnostic and vice versa.
+func runGolden(t *testing.T, a *Analyzer, pattern string) {
+	t.Helper()
+	problems, err := CheckExpectations("", []*Analyzer{a}, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestPoolsafetyGolden(t *testing.T) {
+	runGolden(t, NewPoolsafety(), "./testdata/src/poolsafety/a")
+}
+
+func TestNilsafeGolden(t *testing.T) {
+	runGolden(t, NewNilsafe(
+		"latsim/internal/analysis/testdata/src/nilsafe/hooks.Recorder",
+		"latsim/internal/analysis/testdata/src/nilsafe/hooks.Tracer",
+	), "./testdata/src/nilsafe/hooks")
+}
+
+func TestSimdetGolden(t *testing.T) {
+	runGolden(t, NewSimdet("latsim/internal/analysis/testdata/src/simdet/sched"),
+		"./testdata/src/simdet/sched")
+}
+
+// TestSuiteCleanOnTree is the live gate: the production suite must
+// report zero findings on the whole module (same check CI runs via
+// cmd/latsimvet).
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	diags, err := Run("", All(), "latsim/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestWantParsing pins the expectation-comment grammar.
+func TestWantParsing(t *testing.T) {
+	lit, rest, err := scanString("`a.b` \"c\\\"d\"")
+	if err != nil || lit != "a.b" || strings.TrimSpace(rest) != "\"c\\\"d\"" {
+		t.Fatalf("raw scan: %q %q %v", lit, rest, err)
+	}
+	lit, rest, err = scanString(strings.TrimSpace(rest))
+	if err != nil || lit != `c"d` || rest != "" {
+		t.Fatalf("quoted scan: %q %q %v", lit, rest, err)
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefaultNilsafeTypes are the hook types whose exported methods must be
+// callable on a nil receiver (the DESIGN.md §4b zero-perturbation
+// contract): the simulator threads plain pointers to these types through
+// the hot path and relies on `if r == nil { return }` guards instead of
+// interface indirection.
+var DefaultNilsafeTypes = []string{
+	"latsim/internal/obs.Recorder",
+	"latsim/internal/obs/span.Tracer",
+	"latsim/internal/obs/span.Span",
+	"latsim/internal/check.Checker",
+}
+
+// NewNilsafe returns the nilsafe analyzer for the given fully qualified
+// type names ("pkgpath.TypeName"). Every exported pointer-receiver
+// method on a listed type must begin with a receiver nil check before it
+// reads or writes any receiver field; methods that never touch the
+// receiver's fields need no guard.
+func NewNilsafe(typeNames ...string) *Analyzer {
+	if len(typeNames) == 0 {
+		typeNames = DefaultNilsafeTypes
+	}
+	guarded := map[string]bool{}
+	for _, t := range typeNames {
+		guarded[t] = true
+	}
+	a := &Analyzer{
+		Name: "nilsafe",
+		Doc:  "check that exported methods on nil-guarded hook types test the receiver before any field access",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+					continue
+				}
+				recvObj, typeName := receiverInfo(pass, fn)
+				if recvObj == nil || !guarded[typeName] {
+					continue
+				}
+				checkNilGuard(pass, fn, recvObj, typeName)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// receiverInfo resolves a method's receiver object and the fully
+// qualified name of its (pointer-element) type.
+func receiverInfo(pass *Pass, fn *ast.FuncDecl) (types.Object, string) {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil, "" // unnamed receiver cannot be dereferenced anyway
+	}
+	name := fn.Recv.List[0].Names[0]
+	obj := pass.Info.Defs[name]
+	if obj == nil {
+		return nil, ""
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return nil, "" // value receivers copy; nil is not a concern
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	return obj, basePkgPath(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+}
+
+// checkNilGuard walks the method body statement by statement: a field
+// access (or dereference) of the receiver before a top-level
+// `if recv == nil { return ... }` guard is a violation.
+func checkNilGuard(pass *Pass, fn *ast.FuncDecl, recv types.Object, typeName string) {
+	for _, stmt := range fn.Body.List {
+		if isNilGuard(pass, stmt, recv) {
+			return // everything below is protected
+		}
+		if bad := findFieldAccess(pass, stmt, recv); bad != nil {
+			pass.Reportf(bad.Pos(),
+				"%s.%s accesses receiver %s before nil guard; hook methods must begin with `if %s == nil { return }` (zero-perturbation contract)",
+				typeName, fn.Name.Name, recv.Name(), recv.Name())
+			return // one report per method
+		}
+	}
+}
+
+// isNilGuard matches `if recv == nil { ...; return }` (the guarded body
+// must leave the function).
+func isNilGuard(pass *Pass, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.ObjectOf(id) == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isRecv(bin.X) && isNil(bin.Y)) && !(isNil(bin.X) && isRecv(bin.Y)) {
+		return false
+	}
+	if n := len(ifs.Body.List); n > 0 {
+		_, ret := ifs.Body.List[n-1].(*ast.ReturnStmt)
+		return ret
+	}
+	return false
+}
+
+// findFieldAccess returns the first expression in stmt that reads a
+// field of recv or dereferences it. Method calls on recv are allowed:
+// the callee is responsible for its own guard.
+func findFieldAccess(pass *Pass, stmt ast.Stmt, recv types.Object) ast.Node {
+	var bad ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := e.X.(*ast.Ident)
+			if !ok || pass.ObjectOf(id) != recv {
+				return true
+			}
+			if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				bad = e
+				return false
+			}
+		case *ast.StarExpr:
+			if id, ok := e.X.(*ast.Ident); ok && pass.ObjectOf(id) == recv {
+				bad = e
+				return false
+			}
+		}
+		return true
+	})
+	return bad
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the given package patterns and applies every analyzer to
+// every loaded package, returning all diagnostics sorted by position.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one loaded package.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

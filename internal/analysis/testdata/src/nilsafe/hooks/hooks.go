@@ -1,0 +1,76 @@
+// Package hooks is the nilsafe golden fixture: hook types whose
+// exported methods must guard a nil receiver before any field access.
+// The test configures the analyzer with this package's Recorder and
+// Tracer types.
+package hooks
+
+type Recorder struct {
+	count int
+	last  string
+}
+
+type Tracer struct {
+	depth int
+}
+
+// Guarded is the canonical pattern: nil check first, fields after.
+func (r *Recorder) Guarded(ev string) {
+	if r == nil {
+		return
+	}
+	r.count++
+	r.last = ev
+}
+
+// GuardedFlipped uses the reversed comparison; still a guard.
+func (r *Recorder) GuardedFlipped() int {
+	if nil == r {
+		return 0
+	}
+	return r.count
+}
+
+// Unguarded touches a field with no guard at all.
+func (r *Recorder) Unguarded(ev string) {
+	r.count++ // want `Recorder.Unguarded accesses receiver r before nil guard`
+	r.last = ev
+}
+
+// LateGuard reads a field before the guard runs.
+func (r *Recorder) LateGuard() int {
+	n := r.count // want `Recorder.LateGuard accesses receiver r before nil guard`
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// NoFields never touches the receiver, so no guard is required.
+func (r *Recorder) NoFields() string { return "recorder" }
+
+// CallsMethod may call other methods on r: callees guard themselves.
+func (r *Recorder) CallsMethod() {
+	r.NoFields()
+}
+
+// unexported methods are only reached behind an exported guard, so the
+// analyzer leaves them alone.
+func (r *Recorder) bump() { r.count++ }
+
+// Deref dereferences the receiver without a guard.
+func (t *Tracer) Deref() Tracer {
+	return *t // want `Tracer.Deref accesses receiver t before nil guard`
+}
+
+// Reset is guarded and then writes through the receiver.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	*t = Tracer{}
+}
+
+// ValueReceiver copies the receiver; nil is impossible.
+type Gauge struct{ v int }
+
+func (g Gauge) Read() int { return g.v }

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetCfg is the configuration file the go command hands a -vettool for
+// each package unit (the x/tools unitchecker protocol). Only the fields
+// this driver consumes are declared.
+type VetCfg struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetCfg analyzes the single package unit described by the .cfg file
+// written by `go vet -vettool`. The tool must write VetxOutput (the
+// facts file) even when it has nothing to say, or the go command
+// reports the run as failed. This driver exchanges no facts, so the
+// file is a constant placeholder.
+func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetCfg
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("latsimvet: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil // dependency pass: facts only, and we have none
+	}
+	if cfg.Compiler != "gc" && cfg.Compiler != "" {
+		return nil, fmt.Errorf("analysis: unsupported compiler %q", cfg.Compiler)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: importMapper{
+			imp: importer.ForCompiler(fset, "gc", lookup),
+			m:   cfg.ImportMap,
+		},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", cfg.ImportPath, err)
+	}
+	diags, err := RunPackage(&Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// basePkgPath strips the go command's test-variant suffix
+// ("pkg [pkg.test]" -> "pkg") so package-keyed configuration matches
+// the variants `go vet` feeds through the unitchecker protocol.
+func basePkgPath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

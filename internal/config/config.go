@@ -240,6 +240,17 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// ValidateCheck reports whether the runtime coherence invariant checker
+// can model the configuration. The checker mirrors the directory's
+// full-bit-vector sharer set in a uint64, so machines beyond 64 nodes
+// must run without -check rather than silently skipping bitmap checks.
+func ValidateCheck(c *Config) error {
+	if c.Procs > 64 {
+		return fmt.Errorf("config: -check cannot model Procs = %d: the coherence checker mirrors the directory's 64-bit sharer vector; use <= 64 processors or drop -check", c.Procs)
+	}
+	return nil
+}
+
 // ValidateSpanRate checks a span-tracing sample rate: 0 disables
 // tracing, otherwise the rate must lie in (0, 1].
 func ValidateSpanRate(rate float64) error {

@@ -88,6 +88,11 @@ type Session struct {
 	// Obs-enabled jobs hash — and therefore cache — separately from
 	// plain runs.
 	Obs *obs.Options
+	// Check runs every job under the runtime coherence invariant
+	// checker (internal/check): a run that violates a coherence
+	// invariant fails instead of returning a result. Checked jobs hash
+	// — and therefore cache — separately from plain runs.
+	Check bool
 
 	mu  sync.Mutex
 	eng *runner.Runner
@@ -178,6 +183,11 @@ func execJob(ctx context.Context, j runner.Job) (*machine.Result, error) {
 	if j.Obs != nil {
 		m.EnableObs(*j.Obs)
 	}
+	if j.Check {
+		if _, err := m.EnableCheck(); err != nil {
+			return nil, err
+		}
+	}
 	res, err := m.RunContext(ctx, app)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", j.App, j.Cfg.Name(), err)
@@ -193,7 +203,7 @@ func (s *Session) ctx() context.Context {
 }
 
 func (s *Session) job(app string, cfg config.Config) runner.Job {
-	return runner.Job{App: app, Scale: s.Scale.String(), Seed: s.Seed, Obs: s.Obs, Cfg: cfg}
+	return runner.Job{App: app, Scale: s.Scale.String(), Seed: s.Seed, Obs: s.Obs, Check: s.Check, Cfg: cfg}
 }
 
 // Run simulates one (app, configuration) pair through the job engine.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"latsim/internal/check"
 	"latsim/internal/config"
 	"latsim/internal/cpu"
 	"latsim/internal/mem"
@@ -39,6 +40,7 @@ type Machine struct {
 	sts   []*stats.Proc
 	mesh  *memsys.Mesh
 	rec   *obs.Recorder
+	chk   *check.Checker
 	ran   bool
 }
 
@@ -97,6 +99,31 @@ func (m *Machine) EnableObs(opts obs.Options) *obs.Recorder {
 	return m.rec
 }
 
+// EnableCheck installs the runtime coherence invariant checker on the
+// memory system (the -check flag). Must be called before Run; the run
+// then fails with the first violation instead of returning a result.
+// Calling it again returns the existing checker. The checker follows
+// the same zero-perturbation contract as the recorder: timing and
+// output are byte-identical with it on or off.
+func (m *Machine) EnableCheck() (*check.Checker, error) {
+	if m.chk != nil {
+		return m.chk, nil
+	}
+	if err := config.ValidateCheck(&m.cfg); err != nil {
+		return nil, err
+	}
+	// Strict node-level write-buffer FIFO holds under PC (one
+	// outstanding ownership request drains the buffer in order) and
+	// under single-context SC (the lone context stalls on each write).
+	// SC with multiple contexts interleaves writes from different
+	// contexts in one buffer; only per-context order is architectural,
+	// so the node-level FIFO assertion must relax.
+	ordered := m.cfg.Model == config.PC ||
+		(m.cfg.Model == config.SC && m.cfg.Contexts == 1)
+	m.chk = memsys.EnableCheck(m.k, m.nodes, ordered)
+	return m.chk, nil
+}
+
 // Kernel exposes the simulation kernel (tests and tools).
 func (m *Machine) Kernel() *sim.Kernel { return m.k }
 
@@ -152,6 +179,9 @@ type Result struct {
 	Events      uint64
 	Kernel      sim.Stats
 	Obs         *obs.Report `json:",omitempty"`
+	// InvariantChecks counts the per-line coherence invariant
+	// evaluations the -check checker ran (0 when disabled).
+	InvariantChecks uint64 `json:",omitempty"`
 }
 
 // Run executes the application to completion and returns its result.
@@ -232,6 +262,9 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	if err := memsys.CheckInvariants(m.nodes); err != nil {
 		return nil, fmt.Errorf("machine: coherence invariant violated after %s: %w", app.Name(), err)
 	}
+	if err := m.chk.Err(); err != nil {
+		return nil, fmt.Errorf("machine: %s: %w (%d total violations)", app.Name(), err, m.chk.Violations())
+	}
 	res := &Result{
 		AppName:     app.Name(),
 		Cfg:         m.cfg,
@@ -241,6 +274,8 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		SharedBytes: m.alloc.TotalBytes(),
 		Events:      m.k.Events(),
 		Kernel:      m.k.KernelStats(),
+
+		InvariantChecks: m.chk.Checks(),
 	}
 	if m.rec != nil {
 		res.Obs = m.rec.Finish(elapsed)

@@ -129,6 +129,16 @@ func (c *secondaryCache) State(l mem.Line) LineState {
 	return st
 }
 
+// Peek is State without the LRU update — the invariant checker's probe.
+// A checker lookup must not change replacement order (zero perturbation).
+func (c *secondaryCache) Peek(l mem.Line) LineState {
+	set, w := c.find(l)
+	if w < 0 {
+		return Invalid
+	}
+	return set[w].state
+}
+
 // Victim returns the line that installing l would evict (the LRU way), if
 // the set is full of other valid lines.
 func (c *secondaryCache) Victim(l mem.Line) (mem.Line, LineState, bool) {

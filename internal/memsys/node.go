@@ -2,7 +2,9 @@ package memsys
 
 import (
 	"fmt"
+	"sort"
 
+	"latsim/internal/check"
 	"latsim/internal/config"
 	"latsim/internal/mem"
 	"latsim/internal/obs"
@@ -164,8 +166,9 @@ type Node struct {
 
 	wb   *writeBuffer
 	pf   *prefetchBuffer
-	mesh *Mesh         // optional 2-D mesh interconnect (nil = direct network)
-	rec  *obs.Recorder // optional observability recorder (nil = off)
+	mesh *Mesh          // optional 2-D mesh interconnect (nil = direct network)
+	rec  *obs.Recorder  // optional observability recorder (nil = off)
+	chk  *check.Checker // optional coherence invariant checker (nil = off)
 
 	// syncDepth is > 0 while a synchronization primitive issues memory
 	// accesses through this node, so their sampled spans classify as
@@ -475,8 +478,17 @@ func CheckInvariants(nodes []*Node) error {
 		}
 	}
 	// Dirty directory entries must have exactly one Dirty cached copy.
+	// Sort the lines so the first violation reported is deterministic
+	// (map order would otherwise pick an arbitrary one).
 	for _, home := range nodes {
-		for l, e := range home.dir {
+		lines := make([]mem.Line, 0, len(home.dir))
+		//simdet:unordered — collecting keys for sorting below
+		for l := range home.dir {
+			lines = append(lines, l)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		for _, l := range lines {
+			e := home.dir[l]
 			if e.state == DirDirty {
 				owner := nodes[e.owner]
 				if owner.sec.State(l) != Dirty {

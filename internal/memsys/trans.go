@@ -283,14 +283,17 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 			e.owner = req.id
 			e.sharers = 0
 			m.excl = true
+			h.dirEvent(l)
 			h.replyFill(req, m)
 			return
 		}
 		e.state = DirShared
 		e.sharers = 1 << uint(req.id)
+		h.dirEvent(l)
 		h.replyFill(req, m)
 	case DirShared:
 		e.sharers |= 1 << uint(req.id)
+		h.dirEvent(l)
 		h.replyFill(req, m)
 	case DirDirty:
 		if e.owner == req.id {
@@ -300,6 +303,7 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 		e.state = DirShared
 		e.sharers = 1<<uint(owner.id) | 1<<uint(req.id)
 		e.busy = true
+		h.dirEvent(l)
 		if h.rec != nil {
 			h.rec.DirTxn(obs.DirForward)
 		}
@@ -327,6 +331,7 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		e.state = DirDirty
 		e.owner = req.id
 		e.sharers = 0
+		h.dirEvent(l)
 		h.replyFill(req, m)
 	case DirShared:
 		// Invalidate every sharer except the requester; acks flow
@@ -337,6 +342,9 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 				count++
 				if h.rec != nil {
 					h.rec.DirTxn(obs.DirInval)
+				}
+				if h.chk != nil {
+					h.chk.InvalSent(id, l)
 				}
 				sharer := h.nodes[id]
 				im := sharer.invals.Get()
@@ -349,6 +357,7 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		e.state = DirDirty
 		e.owner = req.id
 		e.sharers = 0
+		h.dirEvent(l)
 		req.addAcks(count)
 		h.replyFill(req, m)
 	case DirDirty:
@@ -358,6 +367,7 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 		owner := h.nodes[e.owner]
 		e.owner = req.id
 		e.busy = true
+		h.dirEvent(l)
 		if h.rec != nil {
 			h.rec.DirTxn(obs.DirForward)
 		}
@@ -433,10 +443,19 @@ func (h *Node) dirUnbusy(l mem.Line) {
 		panic(fmt.Sprintf("memsys: dirUnbusy on non-busy line %#x", l))
 	}
 	e.busy = false
+	h.dirEvent(l)
 	pend := e.pending
 	e.pending = nil
 	for _, f := range pend {
 		f()
+	}
+}
+
+// dirEvent notifies the invariant checker that a directory transaction
+// on line l just updated the entry at this home node.
+func (h *Node) dirEvent(l mem.Line) {
+	if h.chk != nil {
+		h.chk.DirEvent(h.id, l)
 	}
 }
 
@@ -474,6 +493,9 @@ func (im *invalMsg) Act() {
 			// the home *after* the invalidating write — completed while
 			// the invalidation waited for the bus. The dirty copy is
 			// the newer incarnation; acknowledge without invalidating.
+			if n.chk != nil {
+				n.chk.InvalApplied(n.id, l)
+			}
 			im.stage = invAck
 			n.sendSpanTask(im.req, n.lat().Wire, sim.ActorTask(im), im.span)
 			return
@@ -485,6 +507,9 @@ func (im *invalMsg) Act() {
 		}
 		n.sec.Invalidate(l)
 		n.prim.Invalidate(l)
+		if n.chk != nil {
+			n.chk.InvalApplied(n.id, l)
+		}
 		im.stage = invAck
 		n.sendSpanTask(im.req, n.lat().Wire, sim.ActorTask(im), im.span)
 	case invAck:
@@ -535,6 +560,9 @@ func (n *Node) completeFill(m *mshr) {
 	if m.invalidated {
 		n.sec.Invalidate(l)
 		n.prim.Invalidate(l)
+	}
+	if n.chk != nil {
+		n.chk.FillApplied(n.id, l)
 	}
 	if m.kind == mshrRead {
 		n.st.ReadMissCycles += n.k.Now() - m.started
@@ -612,6 +640,7 @@ func (h *Node) dirWriteback(v *victimEntry) {
 			e.state = DirUncached
 		}
 	}
+	h.dirEvent(l)
 	v.stage = vbAcked
 	v.span.Seg(span.KSegReply, h.id)
 	h.sendSpanTask(from, h.lat().Wire, sim.ActorTask(v), v.span)

@@ -165,6 +165,9 @@ func (w *writeBuffer) enqueue(a mem.Addr, release bool, rel Releaser, onRetire s
 		e.onRetire = append(e.onRetire, onRetire)
 	}
 	w.entries = append(w.entries, e)
+	if w.n.chk != nil {
+		w.n.chk.WBEnqueue(w.n.id)
+	}
 	if w.n.rec != nil {
 		w.n.rec.WBDepth(w.n.id, len(w.entries))
 	}
@@ -224,6 +227,9 @@ func (w *writeBuffer) retire(e *wbEntry) {
 	for i, x := range w.entries {
 		if x == e {
 			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			if w.n.chk != nil {
+				w.n.chk.WBRetire(w.n.id, i)
+			}
 			break
 		}
 	}

@@ -174,7 +174,12 @@ func NewRecorder(k *sim.Kernel, nprocs int, opts Options) *Recorder {
 }
 
 // Interval returns the effective sampling interval in cycles.
-func (r *Recorder) Interval() uint64 { return r.interval }
+func (r *Recorder) Interval() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
 
 // idx returns the interval index containing cycle t, growing the series
 // storage to cover it and sampling the kernel's event counter.
@@ -209,6 +214,9 @@ func growTo[T uint32 | uint64](s []T, n int) []T {
 // the processor's single accounting chokepoint, so per processor the
 // accounted intervals tile the run exactly.
 func (r *Recorder) Account(proc int, b stats.Bucket, d sim.Time) {
+	if r == nil {
+		return
+	}
 	if d == 0 {
 		return
 	}
@@ -248,12 +256,18 @@ func (r *Recorder) Account(proc int, b stats.Bucket, d sim.Time) {
 
 // Switch records one context switch on processor proc.
 func (r *Recorder) Switch(proc int) {
+	if r == nil {
+		return
+	}
 	r.switches[r.idx(uint64(r.k.Now()))]++
 }
 
 // WBDepth records the write-buffer depth of a node after an enqueue or
 // retire; the series keeps the per-interval maximum (buffer pressure).
 func (r *Recorder) WBDepth(node, depth int) {
+	if r == nil {
+		return
+	}
 	i := r.idx(uint64(r.k.Now()))
 	if uint32(depth) > r.wbDepthMax[i] {
 		r.wbDepthMax[i] = uint32(depth)
@@ -262,11 +276,17 @@ func (r *Recorder) WBDepth(node, depth int) {
 
 // DirTxn records one directory transaction of kind d.
 func (r *Recorder) DirTxn(d DirKind) {
+	if r == nil {
+		return
+	}
 	r.dirTxns[d][r.idx(uint64(r.k.Now()))]++
 }
 
 // MeshHop records one message hop over the directed mesh link from->to.
 func (r *Recorder) MeshHop(from, to int) {
+	if r == nil {
+		return
+	}
 	r.anyMesh = true
 	r.meshHops[r.idx(uint64(r.k.Now()))]++
 	if r.meshLinks == nil {
@@ -277,6 +297,9 @@ func (r *Recorder) MeshHop(from, to int) {
 
 // Miss records the end-to-end latency of one completed operation.
 func (r *Recorder) Miss(c Class, local bool, latency sim.Time) {
+	if r == nil {
+		return
+	}
 	li := 1
 	if local {
 		li = 0

@@ -98,6 +98,9 @@ type Report struct {
 // Finish closes the recorder at the run's end time and assembles the
 // report. The recorder must not be used afterwards.
 func (r *Recorder) Finish(elapsed sim.Time) *Report {
+	if r == nil {
+		return nil
+	}
 	// Materialize the final interval so every series spans the full run.
 	if elapsed > 0 {
 		r.idx(uint64(elapsed) - 1)

@@ -33,7 +33,10 @@ import (
 //
 // v4: the report carries transaction spans and the critical-path
 // waterfall (obs.ReportSchema moves in lockstep).
-const SchemaVersion = 4
+//
+// v5: Job gained the Check field (runtime coherence invariant checker)
+// and machine.Result the InvariantChecks counter.
+const SchemaVersion = 5
 
 // Job names one deterministic simulation: an application, a data-set
 // scale, an optional workload seed override (0 keeps the paper's seeds),
@@ -47,11 +50,16 @@ const SchemaVersion = 4
 // the runner itself never reads it, but two replays of different traces
 // must not share a cache entry.
 type Job struct {
-	App   string        `json:"app"`
-	Scale string        `json:"scale,omitempty"`
-	Seed  int64         `json:"seed,omitempty"`
-	Obs   *obs.Options  `json:"obs,omitempty"`
-	Trace string        `json:"trace,omitempty"`
+	App   string       `json:"app"`
+	Scale string       `json:"scale,omitempty"`
+	Seed  int64        `json:"seed,omitempty"`
+	Obs   *obs.Options `json:"obs,omitempty"`
+	Trace string       `json:"trace,omitempty"`
+	// Check runs the job under the coherence invariant checker. The
+	// simulated timing is identical either way (zero-perturbation
+	// contract), but a checked result attests the run passed, so it
+	// hashes — and caches — separately.
+	Check bool          `json:"check,omitempty"`
 	Cfg   config.Config `json:"cfg"`
 }
 

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// These tests pin the Pool contract that the poolsafety analyzer
+// (internal/analysis) enforces statically: Put transfers ownership to
+// the pool, after which the pointer aliases whatever the next Get hands
+// out. The "failing" behaviors below — recycled state surviving, double
+// Put aliasing two callers onto one record — are exactly the silent
+// corruption the analyzer exists to keep out of the tree.
+
+type poolRec struct {
+	id   int
+	next *poolRec
+}
+
+func TestPoolLIFORecycle(t *testing.T) {
+	var p Pool[poolRec]
+	a := p.Get()
+	b := p.Get()
+	if a == b {
+		t.Fatal("fresh Gets returned the same object")
+	}
+	p.Put(a)
+	p.Put(b)
+	if got := p.Get(); got != b {
+		t.Errorf("first Get after Put(a), Put(b) = %p, want b %p (LIFO)", got, b)
+	}
+	if got := p.Get(); got != a {
+		t.Errorf("second Get = %p, want a %p", got, a)
+	}
+}
+
+func TestPoolGetReturnsRecycledStateAsIs(t *testing.T) {
+	var p Pool[poolRec]
+	x := p.Get()
+	if x.id != 0 || x.next != nil {
+		t.Fatal("fresh object is not zero-valued")
+	}
+	x.id = 42
+	p.Put(x)
+	y := p.Get()
+	if y != x {
+		t.Fatalf("expected the recycled object back, got %p want %p", y, x)
+	}
+	// Documented contract: Get does NOT reset recycled objects; callers
+	// must reset fields before or after Put.
+	if y.id != 42 {
+		t.Errorf("recycled object was reset (id = %d); the contract says as-is", y.id)
+	}
+}
+
+func TestPoolUseAfterPutAliases(t *testing.T) {
+	// The hazard poolsafety's use-after-Put rule flags: a pointer held
+	// across Put aliases the next Get's object, so a late write through
+	// it corrupts unrelated state.
+	var p Pool[poolRec]
+	stale := p.Get()
+	p.Put(stale)
+	fresh := p.Get()
+	stale.id = 99 // the "use after Put" — this is fresh.id now
+	if fresh.id != 99 {
+		t.Fatalf("expected the stale write to alias the fresh object, fresh.id = %d", fresh.id)
+	}
+}
+
+func TestPoolDoublePutAliases(t *testing.T) {
+	// The hazard poolsafety's double-Put rule flags: after two Puts of
+	// one object, two independent Gets receive the same pointer.
+	var p Pool[poolRec]
+	x := p.Get()
+	p.Put(x)
+	p.Put(x)
+	a, b := p.Get(), p.Get()
+	if a != b {
+		t.Fatalf("expected double Put to alias two Gets, got %p and %p", a, b)
+	}
+}
