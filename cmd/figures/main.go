@@ -5,10 +5,14 @@
 //
 //	figures [-scale small|paper] [-exp id[,id...]] [-jobs N]
 //	        [-cache-dir DIR] [-timeout D] [-obs] [-obs-dir DIR] [-check]
+//	        [-twin]
 //
 // -exp takes one or more comma-separated experiment ids (or "all").
 // Independent simulations run in parallel on -jobs workers; -cache-dir
-// persists results on disk so a re-run only simulates what changed.
+// persists results on disk so a re-run only simulates what changed; -v
+// prints a per-experiment cache hit/miss/dedup digest. -twin renders
+// every figure with the analytical twin's predicted total next to the
+// measured one (see cmd/twin for the full cross-validation).
 // -scale paper uses the paper's exact data sets (slower); the default
 // small scale keeps the workload structure at reduced size. -obs records
 // observability data on every run and writes per-bar report + Chrome
@@ -35,7 +39,12 @@ import (
 	"latsim/internal/core"
 	"latsim/internal/obs"
 	"latsim/internal/runner"
+	"latsim/internal/twin"
 )
+
+// experiments lists every experiment id -exp accepts, in "all" order.
+var experiments = []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
 
 // main delegates to realMain so deferred cleanups (profile flush, session
 // close) run before the process exits.
@@ -47,6 +56,7 @@ func realMain() int {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	bars := flag.Bool("bars", false, "render figures as stacked bar charts")
 	asJSON := flag.Bool("json", false, "emit figures as JSON (for plotting tools)")
+	twinFlag := flag.Bool("twin", false, "overlay the analytical twin's predicted totals on every figure (plain renderer only)")
 	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = no persistence)")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout, e.g. 5m (0 = none)")
@@ -133,6 +143,19 @@ func realMain() int {
 		return nil
 	}
 
+	// twinChars lazily characterizes every benchmark for -twin overlays;
+	// the reference runs go through the session's engine, so they cache
+	// and dedup like any experiment.
+	var chars map[string]*twin.AppChar
+	twinChars := func() (map[string]*twin.AppChar, error) {
+		if chars == nil {
+			var err error
+			if chars, err = s.CharacterizeAll(); err != nil {
+				return nil, err
+			}
+		}
+		return chars, nil
+	}
 	render := func(f *core.Figure) error {
 		if err := writeObs(f); err != nil {
 			return err
@@ -148,6 +171,14 @@ func realMain() int {
 		}
 		if *bars {
 			f.RenderBars(os.Stdout, 60)
+			return nil
+		}
+		if *twinFlag {
+			c, err := twinChars()
+			if err != nil {
+				return err
+			}
+			f.RenderTwin(os.Stdout, c)
 			return nil
 		}
 		f.Render(os.Stdout)
@@ -265,32 +296,42 @@ func realMain() int {
 			}
 			core.RenderAnalytic(os.Stdout, pts)
 		default:
-			return fmt.Errorf("unknown experiment %q", id)
+			return fmt.Errorf("unknown experiment %q (valid: all, %s)", id, strings.Join(experiments, ", "))
 		}
 		fmt.Println()
 		return nil
 	}
 
-	all := []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
 	var ids []string
 	for _, id := range strings.Split(*expFlag, ",") {
 		id = strings.TrimSpace(id)
 		switch id {
 		case "":
 		case "all":
-			ids = append(ids, all...)
+			ids = append(ids, experiments...)
 		default:
 			ids = append(ids, id)
 		}
 	}
 	if len(ids) == 0 {
-		ids = all
+		ids = experiments
 	}
+	var prev runner.Metrics
 	for _, id := range ids {
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			return 1
+		}
+		if *verbose {
+			m := s.Metrics()
+			delta := runner.Metrics{
+				CacheHits:   m.CacheHits - prev.CacheHits,
+				CacheMisses: m.CacheMisses - prev.CacheMisses,
+				Deduped:     m.Deduped - prev.Deduped,
+				Executed:    m.Executed - prev.Executed,
+			}
+			fmt.Fprintf(os.Stderr, "figures: %s: %s\n", id, delta.CacheString())
+			prev = m
 		}
 	}
 	if *verbose {

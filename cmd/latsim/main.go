@@ -6,7 +6,7 @@
 //	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
 //	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
 //	       [-timeout D] [-seed N] [-obs] [-obs-dir DIR] [-obs-interval N]
-//	       [-obs-span-rate R] [-check]
+//	       [-obs-span-rate R] [-check] [-twin]
 //
 // -timeout bounds the run's wall-clock time: the simulation is canceled
 // through the job engine's context when it expires. -obs enables the
@@ -14,7 +14,9 @@
 // Perfetto-loadable <run>.trace.json (see the README's Observability
 // section). -check runs the simulation under the runtime coherence
 // invariant checker (internal/check): any violation aborts the run with
-// the offending line address, node and cycle.
+// the offending line address, node and cycle. -twin additionally prints
+// the analytical twin's predicted breakdown for the same configuration
+// (the twin's reference runs simulate — and cache — on first use).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"latsim/internal/core"
 	"latsim/internal/obs"
 	"latsim/internal/stats"
+	"latsim/internal/twin"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	obsInterval := flag.Uint64("obs-interval", 0, "observability sampling interval in cycles (0 = default)")
 	spanRate := flag.Float64("obs-span-rate", 1.0/64, "transaction span-tracing sample rate in (0, 1] when -obs is set (0 = off)")
 	checkFlag := flag.Bool("check", false, "run under the coherence invariant checker; violations abort the run")
+	twinFlag := flag.Bool("twin", false, "also print the analytical twin's predicted breakdown for this configuration")
 	flag.Parse()
 
 	scale, err := core.ParseScale(*scaleFlag)
@@ -137,6 +141,26 @@ func main() {
 	fmt.Printf("  sim events:         %d\n", res.Events)
 	if *checkFlag {
 		fmt.Printf("  invariant checks:   %d (0 violations)\n", res.InvariantChecks)
+	}
+
+	if *twinFlag {
+		char, err := s.Characterize(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latsim:", err)
+			os.Exit(1)
+		}
+		pred, err := twin.New(char).Predict(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latsim: twin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  twin prediction:    %.0f cycles (%+.1f%% vs measured)\n",
+			pred.Total, 100*(pred.Total-float64(total))/float64(total))
+		for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+			if v := pred.Time[b]; v >= 0.5 {
+				fmt.Printf("    %-12s %12.0f  (%5.1f%%)\n", b, v, 100*v/pred.Total)
+			}
+		}
 	}
 
 	if res.Obs != nil {

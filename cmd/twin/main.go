@@ -1,0 +1,141 @@
+// Command twin drives the analytical twin: the closed-form performance
+// model of the simulated machine (internal/twin) and its
+// cross-validation against the detailed simulator
+// (internal/twin/validate).
+//
+// Usage:
+//
+//	twin [-scale small|paper] [-matrix full|reduced] [-gate]
+//	     [-out FILE] [-bench FILE] [-jobs N] [-cache-dir DIR]
+//	     [-timeout D] [-v]
+//	twin -sweep [-sweep-out FILE] [...]
+//
+// The default mode cross-validates: it characterizes each benchmark from
+// the twin's reference runs (simulated once and cached like any
+// experiment), sweeps the evaluation's configuration matrix through both
+// the twin and the detailed simulator, and prints the per-configuration
+// error table. -out writes the machine-readable error report; -gate
+// exits non-zero when the report violates the error contract (CI runs
+// `twin -matrix reduced -gate`). -bench writes BENCH_twin.json, the
+// prediction-cost-vs-simulation-cost record.
+//
+// -sweep explores the hardware design space instead: the full
+// model x prefetch x contexts x buffering x network grid evaluated
+// analytically (~1400 configurations in milliseconds), with only the
+// cost/performance Pareto frontier re-verified in the detailed
+// simulator.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"latsim/internal/core"
+	"latsim/internal/twin/validate"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
+	matrixFlag := flag.String("matrix", "full", "validation matrix: full or reduced")
+	gate := flag.Bool("gate", false, "exit 1 when the report violates the error gates")
+	outFile := flag.String("out", "", "write the JSON error report to this file")
+	benchFile := flag.String("bench", "", "write the twin-vs-simulator speed record (BENCH_twin.json) to this file")
+	sweep := flag.Bool("sweep", false, "explore the design-space grid analytically and verify the Pareto frontier")
+	sweepOut := flag.String("sweep-out", "", "write the JSON sweep report to this file")
+	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = no persistence)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout, e.g. 5m (0 = none)")
+	verbose := flag.Bool("v", false, "print per-run progress and the cache digest")
+	flag.Parse()
+
+	scale, err := core.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	s := core.NewSession(scale)
+	s.Jobs = *jobs
+	s.CacheDir = *cacheDir
+	s.Timeout = *timeout
+	defer s.Close()
+	if *verbose {
+		s.Trace = os.Stderr
+	}
+	print := func(line string) { fmt.Println(line) }
+
+	if *sweep {
+		rep, err := validate.Sweep(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twin:", err)
+			return 1
+		}
+		rep.Render(print)
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "twin:", s.Metrics().CacheString())
+		}
+		if *sweepOut != "" {
+			if err := writeJSON(*sweepOut, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "twin:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	var entries []validate.Entry
+	switch *matrixFlag {
+	case "full":
+		entries = validate.Matrix()
+	case "reduced":
+		entries = validate.Reduced()
+	default:
+		fmt.Fprintf(os.Stderr, "twin: unknown matrix %q (want full or reduced)\n", *matrixFlag)
+		return 2
+	}
+	rep, err := validate.Run(s, *matrixFlag, entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twin:", err)
+		return 1
+	}
+	rep.Render(print)
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "twin:", s.Metrics().CacheString())
+	}
+	if *outFile != "" {
+		if err := writeJSON(*outFile, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "twin:", err)
+			return 1
+		}
+	}
+	if *benchFile != "" {
+		bench, err := validate.BenchFrom(s, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twin:", err)
+			return 1
+		}
+		fmt.Printf("speed: twin %d ns/config, simulator %d ns/config (%.0fx; %s)\n",
+			bench.TwinNSPerConfig, bench.SimNSPerConfig, bench.Speedup, bench.SimMethod)
+		if err := writeJSON(*benchFile, bench); err != nil {
+			fmt.Fprintln(os.Stderr, "twin:", err)
+			return 1
+		}
+	}
+	if *gate && !rep.Pass {
+		fmt.Fprintf(os.Stderr, "twin: error gates violated (bucket MAE %.2f > %.0f or total err %.2f > %.0f)\n",
+			rep.MeanBucketMAE, rep.Gates.BucketMAE, rep.MeanTotalErr, rep.Gates.TotalErr)
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -139,7 +140,7 @@ func newApp(name string, scale Scale, prefetch bool, seed int64) (machine.App, e
 		p.Prefetch = prefetch
 		return pthor.New(p), nil
 	}
-	return nil, fmt.Errorf("core: unknown app %q", name)
+	return nil, fmt.Errorf("core: unknown app %q (valid: %s)", name, strings.Join(AppNames, ", "))
 }
 
 // engine lazily builds the job engine from the session's knobs.

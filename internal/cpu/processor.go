@@ -139,6 +139,7 @@ type Processor struct {
 	finished  int
 	doneAt    sim.Time
 	busyRun   sim.Time
+	writeRun  uint32
 
 	switchTo    *Context // context a pending switch-penalty event resumes
 	inlineOK    bool     // current call chain is tail-positioned under a kernel event
@@ -247,6 +248,16 @@ func (p *Processor) busy(d sim.Time) {
 func (p *Processor) recordRun() {
 	p.st.RecordRun(p.busyRun)
 	p.busyRun = 0
+}
+
+// closeWriteRun records and resets the current write run, if any. Pure
+// counter accounting at issue time: it schedules nothing and cannot
+// change simulated timing.
+func (p *Processor) closeWriteRun() {
+	if p.writeRun > 0 {
+		p.st.RecordWriteRun(p.writeRun)
+		p.writeRun = 0
+	}
 }
 
 // single reports whether this is a single-context processor, which
@@ -374,6 +385,7 @@ func (p *Processor) exec(c *Context) {
 		c.state = ctxDone
 		p.finished++
 		p.recordRun()
+		p.closeWriteRun()
 		p.dispatch()
 		return
 	}
@@ -451,9 +463,11 @@ func (p *Processor) handleOp(c *Context) {
 		p.delayThen(c, sim.Time(c.cur.cycles), contSpinEnd)
 	case opRead:
 		p.st.SharedReads++
+		p.closeWriteRun()
 		p.withPort(c)
 	case opWrite:
 		p.st.SharedWrites++
+		p.writeRun++
 		p.withPort(c)
 	case opPrefetch:
 		p.st.Prefetches++
@@ -464,13 +478,16 @@ func (p *Processor) handleOp(c *Context) {
 		p.delayThen(c, d, contPrefetchIssue)
 	case opLock:
 		p.st.Locks++
+		p.closeWriteRun()
 		p.busy(1)
 		p.delayThen(c, 1, contLockIssue)
 	case opUnlock:
+		p.closeWriteRun()
 		p.busy(1)
 		p.delayThen(c, 1, contUnlockIssue)
 	case opBarrier:
 		p.st.Barriers++
+		p.closeWriteRun()
 		p.busy(1)
 		p.delayThen(c, 1, contBarrierIssue)
 	default:

@@ -199,6 +199,47 @@ func (rep *Report) Series(name string) []uint64 {
 	return nil
 }
 
+// DirTotal returns the run's total count of the named directory
+// transaction kind ("read", "write", "inval", "forward", "writeback"),
+// or 0 if the kind never occurred. The analytical twin's workload
+// characterization derives dirty-remote and invalidation fractions from
+// these totals.
+func (rep *Report) DirTotal(kind string) uint64 {
+	var total uint64
+	for _, s := range rep.DirTxns {
+		if s.Name != kind {
+			continue
+		}
+		for _, v := range s.Values {
+			total += v
+		}
+	}
+	return total
+}
+
+// MissProfile returns the observation count and mean latency of the
+// named operation-latency histogram ("read_miss/local",
+// "write_miss/remote", "sync/local", ...). Both are 0 when the class was
+// never observed. This is the characterization export used by
+// internal/twin: counts split misses by home locality, means carry the
+// contention-inclusive service times of the reference run.
+func (rep *Report) MissProfile(name string) (count uint64, mean float64) {
+	h := rep.Hist(name)
+	if h == nil {
+		return 0, 0
+	}
+	return h.Count, h.Mean()
+}
+
+// SwitchTotal returns the run's total context-switch count.
+func (rep *Report) SwitchTotal() uint64 {
+	var total uint64
+	for _, v := range rep.Switches {
+		total += uint64(v)
+	}
+	return total
+}
+
 // Summary prints the human-readable digest: latency quantiles per
 // operation class and the headline series totals.
 func (rep *Report) Summary(w io.Writer) {

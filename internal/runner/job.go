@@ -36,7 +36,11 @@ import (
 //
 // v5: Job gained the Check field (runtime coherence invariant checker)
 // and machine.Result the InvariantChecks counter.
-const SchemaVersion = 5
+//
+// v6: stats.Proc carries write-run-length accounting (WriteRuns,
+// WriteRunSum, WriteRunMax, WriteRunHist), read by the analytical twin's
+// workload characterization.
+const SchemaVersion = 6
 
 // Job names one deterministic simulation: an application, a data-set
 // scale, an optional workload seed override (0 keeps the paper's seeds),

@@ -16,9 +16,13 @@ type Metrics struct {
 	Running   int64 // currently executing
 	Executed  int64 // simulated to completion
 	CacheHits int64 // satisfied from the persistent cache
-	Failed    int64 // returned an error, panicked, or timed out
-	SimCycles uint64
-	WallTime  time.Duration
+	// CacheMisses counts persistent-cache probes that found no entry
+	// (always 0 without a cache directory). Together with CacheHits and
+	// Deduped it tells a sweep exactly what was recomputed.
+	CacheMisses int64
+	Failed      int64 // returned an error, panicked, or timed out
+	SimCycles   uint64
+	WallTime    time.Duration
 
 	// Kernel-level counters summed over executed (non-cached) jobs.
 	SimEvents     uint64 // discrete events fired
@@ -31,7 +35,15 @@ func (m Metrics) Done() int64 { return m.Executed + m.CacheHits + m.Failed }
 // String renders the one-line progress summary streamed to Trace.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"jobs: %d submitted (%d deduped), %d queued, %d running, %d simulated, %d cache hits, %d failed; %d sim cycles, %d events in %v",
+		"jobs: %d submitted (%d deduped), %d queued, %d running, %d simulated, %d cache hits, %d cache misses, %d failed; %d sim cycles, %d events in %v",
 		m.Submitted, m.Deduped, m.Queued, m.Running, m.Executed,
-		m.CacheHits, m.Failed, m.SimCycles, m.SimEvents, m.WallTime.Round(time.Millisecond))
+		m.CacheHits, m.CacheMisses, m.Failed, m.SimCycles, m.SimEvents,
+		m.WallTime.Round(time.Millisecond))
+}
+
+// CacheString renders the cache-effectiveness digest printed per
+// experiment by cmd/figures -v and cmd/twin -v.
+func (m Metrics) CacheString() string {
+	return fmt.Sprintf("cache: %d hits, %d misses, %d deduped, %d simulated",
+		m.CacheHits, m.CacheMisses, m.Deduped, m.Executed)
 }

@@ -211,6 +211,9 @@ func (r *Runner) runTask(t *Task) {
 			r.finish(t, res, nil, true, start)
 			return
 		}
+		r.mu.Lock()
+		r.metrics.CacheMisses++
+		r.mu.Unlock()
 	}
 	if err := t.ctx.Err(); err != nil {
 		r.finish(t, nil, fmt.Errorf("runner: %s: %w", t.Job, err), false, start)

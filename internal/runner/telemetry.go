@@ -72,6 +72,7 @@ func (t *Telemetry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("latsim_jobs_deduped_total", "counter", "Submissions coalesced onto an existing task.", m.Deduped)
 	put("latsim_jobs_executed_total", "counter", "Jobs simulated to completion.", m.Executed)
 	put("latsim_jobs_cache_hits_total", "counter", "Jobs satisfied from the persistent cache.", m.CacheHits)
+	put("latsim_jobs_cache_misses_total", "counter", "Persistent-cache probes that found no entry.", m.CacheMisses)
 	put("latsim_jobs_failed_total", "counter", "Jobs that errored, panicked or timed out.", m.Failed)
 	put("latsim_sim_cycles_total", "counter", "Simulated cycles over executed jobs.", m.SimCycles)
 	put("latsim_sim_events_total", "counter", "Discrete events fired over executed jobs.", m.SimEvents)

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+
+	"latsim/internal/sim"
+)
+
+// The analytical twin's characterization extraction reads the run-length
+// and write-run histograms through the quantile/mean paths below; these
+// tests pin their edge cases (empty histogram, single sample, every
+// sample in one bucket).
+
+func TestRunLengthQuantileEmpty(t *testing.T) {
+	var p Proc
+	if got := p.RunLengthQuantile(0.5); got != 0 {
+		t.Errorf("RunLengthQuantile(0.5) on empty = %d, want 0", got)
+	}
+	if got := p.MeanRunLength(); got != 0 {
+		t.Errorf("MeanRunLength on empty = %v, want 0", got)
+	}
+	if got := p.MedianRunLength(); got != 0 {
+		t.Errorf("MedianRunLength on empty = %d, want 0", got)
+	}
+}
+
+func TestRunLengthQuantileSingleSample(t *testing.T) {
+	var p Proc
+	p.RecordRun(17)
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.9, 1, 2} {
+		if got := p.RunLengthQuantile(q); got != 17 {
+			t.Errorf("RunLengthQuantile(%v) = %d, want 17 (only sample)", q, got)
+		}
+	}
+	if got := p.MeanRunLength(); got != 17 {
+		t.Errorf("MeanRunLength = %v, want 17", got)
+	}
+}
+
+func TestRunLengthQuantileAllOneBucket(t *testing.T) {
+	var p Proc
+	for i := 0; i < 1000; i++ {
+		p.RecordRun(5)
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := p.RunLengthQuantile(q); got != 5 {
+			t.Errorf("RunLengthQuantile(%v) = %d, want 5 (all samples equal)", q, got)
+		}
+	}
+	if got := p.MeanRunLength(); got != 5 {
+		t.Errorf("MeanRunLength = %v, want 5", got)
+	}
+}
+
+func TestRunLengthQuantileMonotone(t *testing.T) {
+	var p Proc
+	for i := sim.Time(1); i <= 100; i++ {
+		p.RecordRun(i)
+	}
+	prev := sim.Time(0)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		got := p.RunLengthQuantile(q)
+		if got < prev {
+			t.Errorf("RunLengthQuantile(%v) = %d < previous %d; quantiles must be monotone", q, got, prev)
+		}
+		prev = got
+	}
+	if got := p.RunLengthQuantile(1); got != 100 {
+		t.Errorf("RunLengthQuantile(1) = %d, want 100", got)
+	}
+}
+
+func TestWriteRunEmpty(t *testing.T) {
+	var p Proc
+	if got := p.MeanWriteRun(); got != 0 {
+		t.Errorf("MeanWriteRun on empty = %v, want 0", got)
+	}
+	if got := p.WriteRunQuantile(0.5); got != 0 {
+		t.Errorf("WriteRunQuantile(0.5) on empty = %d, want 0", got)
+	}
+	p.RecordWriteRun(0) // zero-length runs are not runs
+	if p.WriteRuns != 0 {
+		t.Errorf("RecordWriteRun(0) recorded a run")
+	}
+}
+
+func TestWriteRunSingleSample(t *testing.T) {
+	var p Proc
+	p.RecordWriteRun(3)
+	if got := p.MeanWriteRun(); got != 3 {
+		t.Errorf("MeanWriteRun = %v, want 3", got)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := p.WriteRunQuantile(q); got != 3 {
+			t.Errorf("WriteRunQuantile(%v) = %d, want 3", q, got)
+		}
+	}
+	if p.WriteRunMax != 3 {
+		t.Errorf("WriteRunMax = %d, want 3", p.WriteRunMax)
+	}
+}
+
+func TestWriteRunAllOneBucket(t *testing.T) {
+	var p Proc
+	for i := 0; i < 50; i++ {
+		p.RecordWriteRun(2)
+	}
+	if got := p.MeanWriteRun(); got != 2 {
+		t.Errorf("MeanWriteRun = %v, want 2", got)
+	}
+	if got := p.WriteRunQuantile(0.99); got != 2 {
+		t.Errorf("WriteRunQuantile(0.99) = %d, want 2", got)
+	}
+}
+
+func TestWriteRunOverflowBucket(t *testing.T) {
+	var p Proc
+	p.RecordWriteRun(10 * maxWriteRun)
+	if got := p.WriteRunQuantile(0.5); got != maxWriteRun {
+		t.Errorf("WriteRunQuantile(0.5) = %d, want clamp to %d", got, maxWriteRun)
+	}
+	// The mean is exact: the sum is kept outside the clamped histogram.
+	if got := p.MeanWriteRun(); got != 10*maxWriteRun {
+		t.Errorf("MeanWriteRun = %v, want %d", got, 10*maxWriteRun)
+	}
+	if p.WriteRunMax != 10*maxWriteRun {
+		t.Errorf("WriteRunMax = %d, want %d", p.WriteRunMax, 10*maxWriteRun)
+	}
+}
+
+func TestWriteRunJSONRoundTrip(t *testing.T) {
+	var p Proc
+	p.RecordWriteRun(1)
+	p.RecordWriteRun(4)
+	p.RecordWriteRun(4)
+	b, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Proc
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.WriteRuns != p.WriteRuns || q.WriteRunSum != p.WriteRunSum ||
+		q.WriteRunMax != p.WriteRunMax || q.WriteRunHist != p.WriteRunHist {
+		t.Errorf("write-run fields did not round-trip: %+v vs %+v", q.WriteRuns, p.WriteRuns)
+	}
+	if got := q.MeanWriteRun(); got != p.MeanWriteRun() {
+		t.Errorf("MeanWriteRun after round trip = %v, want %v", got, p.MeanWriteRun())
+	}
+}

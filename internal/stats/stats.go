@@ -89,8 +89,64 @@ type Proc struct {
 	// Latency accounting for average-miss-latency reports.
 	ReadMissCycles sim.Time
 
+	// Write-run accounting: a write run is a maximal sequence of shared
+	// writes issued without an intervening shared read or
+	// synchronization operation (program order, computation between the
+	// writes does not break the run). The run-length distribution drives
+	// the analytical twin's write-buffer drain model: long runs are what
+	// fill the buffer under the buffered consistency models.
+	WriteRuns    uint64
+	WriteRunSum  uint64
+	WriteRunMax  uint32
+	WriteRunHist [maxWriteRun + 1]uint32
+
 	runHist [maxRunLength + 1]uint32
 	runs    uint64
+}
+
+// maxWriteRun bounds the write-run-length histogram; longer runs land in
+// the final bucket.
+const maxWriteRun = 64
+
+// RecordWriteRun records one closed write run of n consecutive writes.
+func (p *Proc) RecordWriteRun(n uint32) {
+	if n == 0 {
+		return
+	}
+	p.WriteRuns++
+	p.WriteRunSum += uint64(n)
+	if n > p.WriteRunMax {
+		p.WriteRunMax = n
+	}
+	if n > maxWriteRun {
+		n = maxWriteRun
+	}
+	p.WriteRunHist[n]++
+}
+
+// MeanWriteRun returns the mean write-run length (0 with no runs).
+func (p *Proc) MeanWriteRun() float64 {
+	if p.WriteRuns == 0 {
+		return 0
+	}
+	return float64(p.WriteRunSum) / float64(p.WriteRuns)
+}
+
+// WriteRunQuantile returns the q-quantile (0 <= q <= 1) of the recorded
+// write-run lengths, or 0 if none were recorded.
+func (p *Proc) WriteRunQuantile(q float64) uint32 {
+	if p.WriteRuns == 0 {
+		return 0
+	}
+	rank := quantileRank(q, p.WriteRuns)
+	var seen uint64
+	for l, c := range p.WriteRunHist {
+		seen += uint64(c)
+		if seen >= rank {
+			return uint32(l)
+		}
+	}
+	return maxWriteRun
 }
 
 // Add accrues d cycles to bucket b.
@@ -133,18 +189,46 @@ func (p *Proc) MeanRunLength() float64 {
 // MedianRunLength returns the median recorded run length, or 0 if no runs
 // were recorded.
 func (p *Proc) MedianRunLength() sim.Time {
+	return p.RunLengthQuantile(0.5)
+}
+
+// RunLengthQuantile returns the q-quantile (0 <= q <= 1) of the recorded
+// run lengths, or 0 if no runs were recorded. The median (q = 0.5)
+// matches the paper's reported median run lengths; the analytical twin's
+// characterization also samples the tail (q = 0.9).
+func (p *Proc) RunLengthQuantile(q float64) sim.Time {
 	if p.runs == 0 {
 		return 0
 	}
+	rank := quantileRank(q, p.runs)
 	var seen uint64
-	half := (p.runs + 1) / 2
 	for l, c := range p.runHist {
 		seen += uint64(c)
-		if seen >= half {
+		if seen >= rank {
 			return sim.Time(l)
 		}
 	}
 	return maxRunLength
+}
+
+// quantileRank converts a quantile in [0, 1] to a 1-based rank among n
+// observations, clamping out-of-range q. q = 0.5 gives the (n+1)/2 rank
+// used by MedianRunLength.
+func quantileRank(q float64, n uint64) uint64 {
+	switch {
+	case q <= 0:
+		return 1
+	case q >= 1:
+		return n
+	}
+	r := uint64(q*float64(n) + 0.5)
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
 }
 
 // Breakdown is an aggregated execution-time decomposition for a whole run.

@@ -1,0 +1,268 @@
+package twin
+
+import (
+	"fmt"
+
+	"latsim/internal/config"
+	"latsim/internal/machine"
+	"latsim/internal/stats"
+)
+
+// RefKind names one of the detailed reference runs the characterization
+// is extracted from. All references use the base machine (SC, cached,
+// direct network); the multi-context points pin SwitchPenalty to 4 and
+// the model scales other penalties analytically. The prefetched
+// multi-context points (McPf2/McPf4) exist because prefetching and
+// context interleaving interact through the caches — contexts evict each
+// other's prefetched lines — and that interference is invisible to any
+// composition of the single-technique points.
+type RefKind int
+
+const (
+	RefBase  RefKind = iota // SC, 1 context, cached — the paper's baseline
+	RefPf                   // SC + software prefetching
+	RefMc2                  // SC, 2 contexts, switch penalty 4
+	RefMc4                  // SC, 4 contexts, switch penalty 4
+	RefMcPf2                // SC + prefetch, 2 contexts, penalty 4
+	RefMcPf4                // SC + prefetch, 4 contexts, penalty 4
+
+	NumRefs
+)
+
+var refNames = [NumRefs]string{"base", "pf", "mc2", "mc4", "mcpf2", "mcpf4"}
+
+func (k RefKind) String() string {
+	if k < 0 || k >= NumRefs {
+		return fmt.Sprintf("ref(%d)", int(k))
+	}
+	return refNames[k]
+}
+
+// ReferenceConfigs derives the NumRefs reference configurations from a
+// base configuration, which must be the plain baseline: SC, one context,
+// coherent caches, no prefetching. The detailed runs of these configs
+// (with observability enabled) are the twin's only input besides the
+// config being predicted.
+func ReferenceConfigs(base config.Config) ([NumRefs]config.Config, error) {
+	var out [NumRefs]config.Config
+	if err := base.Validate(); err != nil {
+		return out, err
+	}
+	if base.Model != config.SC || base.Contexts != 1 || !base.CacheShared || base.Prefetch {
+		return out, fmt.Errorf("twin: reference base must be plain SC/1ctx/cached, got %s", base.Name())
+	}
+	mk := func(pf bool, ctx int) config.Config {
+		c := base
+		c.Prefetch = pf
+		c.Contexts = ctx
+		if ctx > 1 {
+			c.SwitchPenalty = 4
+		}
+		return c
+	}
+	out[RefBase] = mk(false, 1)
+	out[RefPf] = mk(true, 1)
+	out[RefMc2] = mk(false, 2)
+	out[RefMc4] = mk(false, 4)
+	out[RefMcPf2] = mk(true, 2)
+	out[RefMcPf4] = mk(true, 4)
+	return out, nil
+}
+
+// OpPoint is the twin's view of one detailed reference run: the
+// per-processor execution-time breakdown plus the event counts, locality
+// splits and contention-inclusive mean latencies the model calibrates
+// against. All counts are per processor (machine totals divided by the
+// processor count) so predictions for other machine sizes can rescale
+// them as fixed total work.
+type OpPoint struct {
+	Cfg     config.Config
+	Elapsed float64
+	// Time is the per-processor cycle breakdown (indexed by stats.Bucket).
+	Time [stats.NumBuckets]float64
+
+	// Program reference counts (stats.Proc, per processor).
+	SharedReads    float64
+	SharedWrites   float64
+	ReadPrimaryHit float64
+	ReadSecHit     float64
+	WriteHits      float64
+	Locks          float64
+	Barriers       float64
+	Prefetches     float64
+	PrefetchLate   float64
+	Switches       float64
+
+	// Demand transaction counts and mean latencies by home locality,
+	// from the run's observability histograms. The means include the
+	// reference run's real contention, which is what makes them usable
+	// as calibration anchors: the model predicts other configurations by
+	// shifting these anchors by composed service-time and queueing
+	// deltas, not from first principles.
+	RdLocal, RdRemote         float64
+	RdLocalMean, RdRemoteMean float64
+	WrLocal, WrRemote         float64
+	WrLocalMean, WrRemoteMean float64
+	PfLocal, PfRemote         float64
+	SyncLocal, SyncRemote     float64
+
+	// Directory transaction mix (per processor).
+	DirReads   float64
+	DirWrites  float64
+	Invals     float64
+	Forwards   float64
+	Writebacks float64
+
+	// Write-run-length distribution (per processor), driving the
+	// write-buffer drain models. Index i counts runs of exactly i
+	// consecutive shared writes; the last slot aggregates longer runs.
+	WriteRuns    float64
+	WriteRunMean float64
+	WriteRunHist []float64
+}
+
+// Stalls returns the sum of the single-context stall buckets.
+func (p *OpPoint) Stalls() float64 {
+	return p.Time[stats.ReadStall] + p.Time[stats.WriteStall] + p.Time[stats.SyncStall]
+}
+
+// DirtyFrac is the fraction of directory transactions serviced by a
+// dirty remote owner (forwarded).
+func (p *OpPoint) DirtyFrac() float64 {
+	if t := p.DirReads + p.DirWrites; t > 0 {
+		return p.Forwards / t
+	}
+	return 0
+}
+
+// RdRemoteFrac is the remote fraction of demand read-miss transactions.
+func (p *OpPoint) RdRemoteFrac() float64 {
+	if t := p.RdLocal + p.RdRemote; t > 0 {
+		return p.RdRemote / t
+	}
+	return 0
+}
+
+// WrRemoteFrac is the remote fraction of ownership transactions.
+func (p *OpPoint) WrRemoteFrac() float64 {
+	if t := p.WrLocal + p.WrRemote; t > 0 {
+		return p.WrRemote / t
+	}
+	return 0
+}
+
+// AppChar is the complete workload characterization of one application:
+// everything the analytical model knows about it. It is extracted once
+// from the NumRefs detailed reference runs and then reused for any
+// number of predictions; it serializes to JSON as a standalone artifact.
+type AppChar struct {
+	App    string
+	Procs  int
+	Points [NumRefs]OpPoint
+}
+
+// Point returns the named reference operating point.
+func (c *AppChar) Point(k RefKind) *OpPoint { return &c.Points[k] }
+
+// Characterize extracts an application characterization from the
+// detailed results of the NumRefs reference runs (in RefKind order, all
+// with observability enabled — Characterize needs the latency histograms
+// and directory-transaction mix only an obs-enabled run carries).
+func Characterize(results [NumRefs]*machine.Result) (*AppChar, error) {
+	base := results[RefBase]
+	if base == nil {
+		return nil, fmt.Errorf("twin: nil base reference result")
+	}
+	want, err := ReferenceConfigs(baseOf(base.Cfg))
+	if err != nil {
+		return nil, err
+	}
+	c := &AppChar{App: base.AppName, Procs: len(base.Procs)}
+	for k := RefKind(0); k < NumRefs; k++ {
+		res := results[k]
+		if res == nil {
+			return nil, fmt.Errorf("twin: nil %s reference result", k)
+		}
+		if res.AppName != c.App {
+			return nil, fmt.Errorf("twin: %s reference ran %s, base ran %s", k, res.AppName, c.App)
+		}
+		if res.Cfg != want[k] {
+			return nil, fmt.Errorf("twin: %s reference config is %s, want %s", k, res.Cfg.Name(), want[k].Name())
+		}
+		p, err := pointFrom(res)
+		if err != nil {
+			return nil, fmt.Errorf("twin: %s reference: %w", k, err)
+		}
+		c.Points[k] = p
+	}
+	return c, nil
+}
+
+// baseOf strips the per-reference technique knobs back off a reference
+// config, recovering the base all references share.
+func baseOf(cfg config.Config) config.Config {
+	cfg.Prefetch = false
+	cfg.Contexts = 1
+	return cfg
+}
+
+// pointFrom reduces one detailed result to its operating point.
+func pointFrom(res *machine.Result) (OpPoint, error) {
+	var p OpPoint
+	if res.Obs == nil {
+		return p, fmt.Errorf("run has no observability report")
+	}
+	n := float64(len(res.Procs))
+	if n == 0 || res.Elapsed == 0 {
+		return p, fmt.Errorf("run is empty")
+	}
+	p.Cfg = res.Cfg
+	p.Elapsed = float64(res.Elapsed)
+	for _, st := range res.Procs {
+		for b, v := range st.Time {
+			p.Time[b] += float64(v) / n
+		}
+		p.SharedReads += float64(st.SharedReads) / n
+		p.SharedWrites += float64(st.SharedWrites) / n
+		p.ReadPrimaryHit += float64(st.ReadPrimaryHit) / n
+		p.ReadSecHit += float64(st.ReadSecHit) / n
+		p.WriteHits += float64(st.WriteHits) / n
+		p.Locks += float64(st.Locks) / n
+		p.Barriers += float64(st.Barriers) / n
+		p.Prefetches += float64(st.Prefetches) / n
+		p.PrefetchLate += float64(st.PrefetchLate) / n
+		p.Switches += float64(st.Switches) / n
+		p.WriteRuns += float64(st.WriteRuns) / n
+		if p.WriteRunHist == nil {
+			p.WriteRunHist = make([]float64, len(st.WriteRunHist))
+		}
+		for i, c := range st.WriteRunHist {
+			p.WriteRunHist[i] += float64(c) / n
+		}
+		if st.WriteRuns > 0 {
+			p.WriteRunMean += st.MeanWriteRun() * float64(st.WriteRuns)
+		}
+	}
+	if p.WriteRuns > 0 {
+		p.WriteRunMean /= p.WriteRuns * n
+	}
+	rep := res.Obs
+	prof := func(name string) (float64, float64) {
+		cnt, mean := rep.MissProfile(name)
+		return float64(cnt) / n, mean
+	}
+	p.RdLocal, p.RdLocalMean = prof("read_miss/local")
+	p.RdRemote, p.RdRemoteMean = prof("read_miss/remote")
+	p.WrLocal, p.WrLocalMean = prof("write_miss/local")
+	p.WrRemote, p.WrRemoteMean = prof("write_miss/remote")
+	p.PfLocal, _ = prof("prefetch/local")
+	p.PfRemote, _ = prof("prefetch/remote")
+	p.SyncLocal, _ = prof("sync/local")
+	p.SyncRemote, _ = prof("sync/remote")
+	p.DirReads = float64(rep.DirTotal("read")) / n
+	p.DirWrites = float64(rep.DirTotal("write")) / n
+	p.Invals = float64(rep.DirTotal("inval")) / n
+	p.Forwards = float64(rep.DirTotal("forward")) / n
+	p.Writebacks = float64(rep.DirTotal("writeback")) / n
+	return p, nil
+}

@@ -1,0 +1,326 @@
+package twin
+
+import (
+	"math"
+	"testing"
+
+	"latsim/internal/config"
+	"latsim/internal/stats"
+)
+
+// TestComposeTable1 pins the service-time composition to the paper's
+// Table 1 for the default configuration — the same numbers the detailed
+// simulator's latency probes reproduce (core.Table1).
+func TestComposeTable1(t *testing.T) {
+	cfg := config.Default()
+	s := Compose(&cfg)
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"read primary", s.ReadPrimary, 1},
+		{"read secondary", s.ReadSec, 14},
+		{"read local", s.ReadLocal, 26},
+		{"read home", s.ReadHome, 72},
+		{"read dirty", s.ReadDirty, 90},
+		{"write owned", s.WriteOwned, 2},
+		{"write local", s.WriteLocal, 18},
+		{"write home", s.WriteHome, 64},
+		{"write dirty", s.WriteDirty, 82},
+		{"uncached read local", s.UncReadLocal, 20},
+		{"uncached read remote", s.UncReadRemote, 64},
+		{"uncached write local", s.UncWriteLocal, 12},
+		{"uncached write remote", s.UncWriteRemote, 56},
+		{"hop", s.Hop, 23},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestMeshAvgDistance(t *testing.T) {
+	// 4x4 mesh: 2*(16-1)/(3*4) = 2.5 hops on average.
+	if d := meshAvgDistance(16); math.Abs(d-2.5) > 1e-9 {
+		t.Errorf("meshAvgDistance(16) = %v, want 2.5", d)
+	}
+	if d := meshAvgDistance(1); d != 0 {
+		t.Errorf("meshAvgDistance(1) = %v, want 0", d)
+	}
+}
+
+func TestMdl1Wait(t *testing.T) {
+	if w := mdl1Wait(0, 10); w != 0 {
+		t.Errorf("wait at zero load = %v", w)
+	}
+	if w1, w2 := mdl1Wait(0.3, 10), mdl1Wait(0.6, 10); w2 <= w1 {
+		t.Errorf("wait not monotone: %v then %v", w1, w2)
+	}
+	// Past the clamp, the wait must stay finite.
+	if w := mdl1Wait(2.0, 10); math.IsInf(w, 0) || w != mdl1Wait(0.95, 10) {
+		t.Errorf("overload wait = %v, want clamped %v", w, mdl1Wait(0.95, 10))
+	}
+}
+
+func TestReferenceConfigs(t *testing.T) {
+	refs, err := ReferenceConfigs(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs[RefBase] != config.Default() {
+		t.Errorf("base reference differs from base config")
+	}
+	if !refs[RefPf].Prefetch || refs[RefPf].Contexts != 1 {
+		t.Errorf("pf reference = %s", refs[RefPf].Name())
+	}
+	if refs[RefMc4].Contexts != 4 || refs[RefMc4].SwitchPenalty != 4 || refs[RefMc4].Prefetch {
+		t.Errorf("mc4 reference = %s", refs[RefMc4].Name())
+	}
+	if !refs[RefMcPf2].Prefetch || refs[RefMcPf2].Contexts != 2 {
+		t.Errorf("mcpf2 reference = %s", refs[RefMcPf2].Name())
+	}
+	rc := config.Default()
+	rc.Model = config.RC
+	if _, err := ReferenceConfigs(rc); err == nil {
+		t.Errorf("RC base accepted as reference base")
+	}
+}
+
+// synthChar builds a self-consistent synthetic characterization: not a
+// real application, but enough structure for the model's identities and
+// monotonicities to be testable without running the simulator.
+func synthChar(tb testing.TB) *AppChar {
+	tb.Helper()
+	refs, err := ReferenceConfigs(config.Default())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := &AppChar{App: "synth", Procs: 16}
+
+	point := func(cfg config.Config, busy, pfo, read, write, sync, sw, nsw, idle float64) OpPoint {
+		p := OpPoint{Cfg: cfg}
+		p.Time[stats.Busy] = busy
+		p.Time[stats.PrefetchOverhead] = pfo
+		p.Time[stats.ReadStall] = read
+		p.Time[stats.WriteStall] = write
+		p.Time[stats.SyncStall] = sync
+		p.Time[stats.Switching] = sw
+		p.Time[stats.NoSwitchIdle] = nsw
+		p.Time[stats.AllIdle] = idle
+		for _, v := range p.Time {
+			p.Elapsed += v
+		}
+		p.SharedReads, p.SharedWrites = 10000, 5000
+		p.ReadPrimaryHit, p.ReadSecHit = 5000, 2000
+		p.WriteHits = 3500
+		p.Locks, p.Barriers = 50, 20
+		p.RdLocal, p.RdLocalMean = 1200, 28
+		p.RdRemote, p.RdRemoteMean = 1800, 78
+		p.WrLocal, p.WrLocalMean = 500, 20
+		p.WrRemote, p.WrRemoteMean = 1000, 70
+		p.SyncLocal, p.SyncRemote = 100, 40
+		p.DirReads, p.DirWrites = 3000, 1500
+		p.Invals, p.Forwards, p.Writebacks = 800, 300, 400
+		p.WriteRuns, p.WriteRunMean = 2500, 1.8
+		p.WriteRunHist = make([]float64, 65)
+		p.WriteRunHist[1], p.WriteRunHist[2], p.WriteRunHist[4] = 1500, 500, 500
+		return p
+	}
+	c.Points[RefBase] = point(refs[RefBase], 30000, 0, 50000, 24000, 10000, 0, 0, 0)
+	c.Points[RefPf] = point(refs[RefPf], 30000, 3000, 35000, 12000, 9000, 0, 0, 0)
+	pf := &c.Points[RefPf]
+	pf.RdLocal, pf.RdRemote = 500, 700 // prefetch covers most demand misses
+	pf.PfLocal, pf.PfRemote = 800, 1200
+	pf.Prefetches = 2000
+	c.Points[RefMc2] = point(refs[RefMc2], 30000, 0, 0, 0, 0, 4000, 2500, 35000)
+	c.Points[RefMc4] = point(refs[RefMc4], 30500, 0, 0, 0, 0, 5000, 3500, 16000)
+	c.Points[RefMcPf2] = point(refs[RefMcPf2], 30000, 2800, 0, 0, 0, 2500, 1500, 26000)
+	c.Points[RefMcPf4] = point(refs[RefMcPf4], 30500, 2800, 0, 0, 0, 3000, 2000, 15000)
+	return c
+}
+
+// TestPredictAnchorIdentity: predicting the base reference configuration
+// must reproduce the measured breakdown (the calibration ratios are all
+// exactly 1 there).
+func TestPredictAnchorIdentity(t *testing.T) {
+	m := New(synthChar(t))
+	for _, k := range []RefKind{RefBase, RefPf} {
+		p, err := m.Predict(m.Char.Points[k].Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Anchored {
+			t.Errorf("%s: prediction not marked anchored", k)
+		}
+		for b, want := range m.Char.Points[k].Time {
+			if math.Abs(p.Time[b]-want) > 1e-6*want+1e-6 {
+				t.Errorf("%s bucket %s = %v, want %v", k, stats.Bucket(b), p.Time[b], want)
+			}
+		}
+	}
+}
+
+// TestPredictRC: relaxing the consistency model must eliminate most
+// write stall and shorten the predicted total; busy is unchanged.
+func TestPredictRC(t *testing.T) {
+	m := New(synthChar(t))
+	base := m.Char.Points[RefBase]
+	rc := base.Cfg
+	rc.Model = config.RC
+	p, err := m.Predict(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time[stats.WriteStall] >= 0.5*base.Time[stats.WriteStall] {
+		t.Errorf("RC write stall = %v, SC was %v", p.Time[stats.WriteStall], base.Time[stats.WriteStall])
+	}
+	if p.Total >= base.Elapsed {
+		t.Errorf("RC total %v not below SC %v", p.Total, base.Elapsed)
+	}
+	if math.Abs(p.Time[stats.Busy]-base.Time[stats.Busy]) > 1e-6 {
+		t.Errorf("RC busy = %v, want %v", p.Time[stats.Busy], base.Time[stats.Busy])
+	}
+	if p.Time[stats.SyncStall] >= base.Time[stats.SyncStall] {
+		t.Errorf("RC sync stall %v did not shrink from %v", p.Time[stats.SyncStall], base.Time[stats.SyncStall])
+	}
+}
+
+// TestPredictUncached: turning caches off must cost far more read stall
+// (every shared read goes to memory) and keep sync flat.
+func TestPredictUncached(t *testing.T) {
+	m := New(synthChar(t))
+	base := m.Char.Points[RefBase]
+	nc := base.Cfg
+	nc.CacheShared = false
+	p, err := m.Predict(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time[stats.ReadStall] <= base.Time[stats.ReadStall] {
+		t.Errorf("uncached read stall %v not above cached %v", p.Time[stats.ReadStall], base.Time[stats.ReadStall])
+	}
+	if math.Abs(p.Time[stats.SyncStall]-base.Time[stats.SyncStall]) > 1e-6 {
+		t.Errorf("uncached sync = %v, want flat %v", p.Time[stats.SyncStall], base.Time[stats.SyncStall])
+	}
+	if p.Total <= base.Elapsed {
+		t.Errorf("uncached total %v not above cached %v", p.Total, base.Elapsed)
+	}
+}
+
+// TestPredictMultiContext: context configurations fold stalls into the
+// idle buckets; anchors reproduce themselves; a higher switch penalty
+// costs more switching time.
+func TestPredictMultiContext(t *testing.T) {
+	m := New(synthChar(t))
+	mc2 := m.Char.Points[RefMc2]
+	p, err := m.Predict(mc2.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Anchored {
+		t.Errorf("mc2 prediction not anchored")
+	}
+	for _, b := range []stats.Bucket{stats.ReadStall, stats.WriteStall, stats.SyncStall} {
+		if p.Time[b] != 0 {
+			t.Errorf("mc2 bucket %s = %v, want folded 0", b, p.Time[b])
+		}
+	}
+	if math.Abs(p.Time[stats.AllIdle]-mc2.Time[stats.AllIdle]) > 1e-6*mc2.Time[stats.AllIdle] {
+		t.Errorf("mc2 all_idle = %v, want %v", p.Time[stats.AllIdle], mc2.Time[stats.AllIdle])
+	}
+
+	sw16 := mc2.Cfg
+	sw16.SwitchPenalty = 16
+	p16, err := m.Predict(sw16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16.Time[stats.Switching] <= p.Time[stats.Switching] {
+		t.Errorf("penalty 16 switching %v not above penalty 4 %v",
+			p16.Time[stats.Switching], p.Time[stats.Switching])
+	}
+	if p16.Time[stats.AllIdle] >= p.Time[stats.AllIdle] {
+		t.Errorf("penalty 16 idle %v should absorb part of the extra switching (penalty 4: %v)",
+			p16.Time[stats.AllIdle], p.Time[stats.AllIdle])
+	}
+
+	// RC with contexts: fewer switch triggers (writes no longer block).
+	rc2 := mc2.Cfg
+	rc2.Model = config.RC
+	prc, err := m.Predict(rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prc.Time[stats.Switching] >= p.Time[stats.Switching] {
+		t.Errorf("RC 2ctx switching %v not below SC %v", prc.Time[stats.Switching], p.Time[stats.Switching])
+	}
+	if prc.Time[stats.AllIdle] >= p.Time[stats.AllIdle] {
+		t.Errorf("RC 2ctx idle %v not below SC %v", prc.Time[stats.AllIdle], p.Time[stats.AllIdle])
+	}
+
+	// Interpolated context count lands between the anchors.
+	c3 := mc2.Cfg
+	c3.Contexts = 3
+	p3, err := m.Predict(c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Char.Points[RefMc4].Time[stats.AllIdle], mc2.Time[stats.AllIdle]
+	if p3.Time[stats.AllIdle] < lo-1e-6 || p3.Time[stats.AllIdle] > hi+1e-6 {
+		t.Errorf("3ctx idle %v outside [%v, %v]", p3.Time[stats.AllIdle], lo, hi)
+	}
+}
+
+// TestPredictWorkScaling: halving the processor count doubles per-
+// processor work under the fixed-total-work assumption.
+func TestPredictWorkScaling(t *testing.T) {
+	m := New(synthChar(t))
+	base := m.Char.Points[RefBase]
+	small := base.Cfg
+	small.Procs = 8
+	p, err := m.Predict(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * base.Time[stats.Busy]; math.Abs(p.Time[stats.Busy]-want) > 1e-6 {
+		t.Errorf("8-proc busy = %v, want %v", p.Time[stats.Busy], want)
+	}
+}
+
+func TestPredictRejects(t *testing.T) {
+	m := New(synthChar(t))
+	bad := config.Default()
+	bad.Prefetch = true
+	bad.CacheShared = false
+	if _, err := m.Predict(bad); err == nil {
+		t.Errorf("prefetch without caches accepted")
+	}
+	huge := config.Default()
+	huge.Contexts = 128
+	if _, err := m.Predict(huge); err == nil {
+		t.Errorf("128 contexts accepted")
+	}
+	invalid := config.Default()
+	invalid.Procs = 0
+	if _, err := m.Predict(invalid); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+// BenchmarkPredict measures one model evaluation — the twin's headline
+// speed claim (microseconds per configuration) rests on this.
+func BenchmarkPredict(b *testing.B) {
+	m := New(synthChar(b))
+	rc := config.Default()
+	rc.Model = config.RC
+	rc.Contexts = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package validate
+
+import (
+	"testing"
+
+	"latsim/internal/core"
+)
+
+func TestMatrix(t *testing.T) {
+	entries := Matrix()
+	if len(entries) < 13 {
+		t.Fatalf("full matrix has %d entries, want >= 13", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Label] {
+			t.Errorf("duplicate label %q", e.Label)
+		}
+		seen[e.Label] = true
+		if err := e.Cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", e.Label, err)
+		}
+	}
+	for _, want := range []string{"nocache-SC", "SC", "RC", "SC+pf", "RC+pf", "RC+pf-4ctx/sw4"} {
+		if !seen[want] {
+			t.Errorf("matrix is missing %q", want)
+		}
+	}
+	if base := core.Base(); !seen["SC"] {
+		t.Fatal("no SC entry")
+	} else {
+		for _, e := range entries {
+			if e.Label == "SC" && e.Cfg != base {
+				t.Errorf("SC entry is %s, want the base config", e.Cfg.Name())
+			}
+		}
+	}
+}
+
+func TestReducedIsSubset(t *testing.T) {
+	full := map[string]bool{}
+	for _, e := range Matrix() {
+		full[e.Label] = true
+	}
+	red := Reduced()
+	if len(red) == 0 || len(red) >= len(Matrix()) {
+		t.Fatalf("reduced matrix has %d entries, want a strict non-empty subset", len(red))
+	}
+	for _, e := range red {
+		if !full[e.Label] {
+			t.Errorf("reduced entry %q not in the full matrix", e.Label)
+		}
+	}
+}
+
+func TestSweepSpace(t *testing.T) {
+	points := sweepSpace()
+	if len(points) < 1000 {
+		t.Fatalf("sweep explores %d configurations, want >= 1000", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if seen[p.Name] {
+			t.Errorf("duplicate sweep point %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", p.Name, err)
+		}
+		if p.Cost < 0 {
+			t.Errorf("%s: negative cost %f", p.Name, p.Cost)
+		}
+	}
+}
+
+func TestCostOfMonotone(t *testing.T) {
+	base := core.Base()
+	cheap := costOf(&base)
+	big := base
+	big.Contexts = 4
+	big.WriteBufferDepth = 32
+	big.MaxOutstandingWrites = 8
+	big.Lat.Wire = 8
+	if c := costOf(&big); c <= cheap {
+		t.Errorf("more hardware costs %f, base costs %f", c, cheap)
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	points := []SweepPoint{
+		{Name: "a", Cost: 0, MeanTotal: 100},
+		{Name: "b", Cost: 1, MeanTotal: 90},
+		{Name: "dominated", Cost: 2, MeanTotal: 95},
+		{Name: "c", Cost: 3, MeanTotal: 80},
+		{Name: "tie-worse", Cost: 3, MeanTotal: 85},
+	}
+	f := paretoFrontier(points)
+	want := []string{"a", "b", "c"}
+	if len(f) != len(want) {
+		t.Fatalf("frontier has %d points (%v), want %v", len(f), f, want)
+	}
+	for i, p := range f {
+		if p.Name != want[i] {
+			t.Errorf("frontier[%d] = %q, want %q", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestReportCheck(t *testing.T) {
+	r := &Report{Gates: DefaultGates(), MeanBucketMAE: 14.9, MeanTotalErr: 9.9}
+	if !r.Check() {
+		t.Error("report inside the gates should pass")
+	}
+	r.MeanTotalErr = 10.1
+	if r.Check() {
+		t.Error("total error over the gate should fail")
+	}
+	r.MeanTotalErr = 5
+	r.MeanBucketMAE = 15.1
+	if r.Check() {
+		t.Error("bucket MAE over the gate should fail")
+	}
+}
