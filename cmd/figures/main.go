@@ -8,6 +8,9 @@
 //	        [-twin]
 //
 // -exp takes one or more comma-separated experiment ids (or "all").
+// The dirscale experiment — directory organizations at up to 1024
+// processors, `-json` emits the BENCH_dir.json document — is opt-in and
+// not part of "all".
 // Independent simulations run in parallel on -jobs workers; -cache-dir
 // persists results on disk so a re-run only simulates what changed; -v
 // prints a per-experiment cache hit/miss/dedup digest. -twin renders
@@ -42,9 +45,15 @@ import (
 	"latsim/internal/twin"
 )
 
-// experiments lists every experiment id -exp accepts, in "all" order.
+// experiments lists every experiment id "all" runs, in order.
 var experiments = []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
 	"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
+
+// extraExperiments are opt-in ids that "all" deliberately excludes:
+// dirscale simulates up to 1024 processors, and the -exp all output is a
+// byte-identity regression gate that must not change when opt-in
+// experiments are added.
+var extraExperiments = []string{"dirscale"}
 
 // main delegates to realMain so deferred cleanups (profile flush, session
 // close) run before the process exits.
@@ -52,7 +61,7 @@ func main() { os.Exit(realMain()) }
 
 func realMain() int {
 	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (all, table1, table2, fig2..fig6, hitrates, summary, coverage, fullcache, spectrum, scaling, analytic, ablations)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (all, table1, table2, fig2..fig6, hitrates, summary, coverage, fullcache, spectrum, scaling, analytic, ablations; opt-in: dirscale)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	bars := flag.Bool("bars", false, "render figures as stacked bar charts")
 	asJSON := flag.Bool("json", false, "emit figures as JSON (for plotting tools)")
@@ -295,8 +304,24 @@ func realMain() int {
 				return err
 			}
 			core.RenderAnalytic(os.Stdout, pts)
+		case "dirscale":
+			pts, err := s.DirScaleSweep()
+			if err != nil {
+				return err
+			}
+			if *asJSON {
+				b, err := core.DirScaleJSON(pts)
+				if err != nil {
+					return err
+				}
+				os.Stdout.Write(b)
+				fmt.Println()
+			} else {
+				core.RenderDirScale(os.Stdout, pts)
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (valid: all, %s)", id, strings.Join(experiments, ", "))
+			return fmt.Errorf("unknown experiment %q (valid: all, %s, %s)",
+				id, strings.Join(experiments, ", "), strings.Join(extraExperiments, ", "))
 		}
 		fmt.Println()
 		return nil

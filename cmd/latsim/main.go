@@ -5,6 +5,8 @@
 //
 //	latsim [-app MP3D|LU|PTHOR] [-model SC|RC] [-nocache] [-prefetch]
 //	       [-contexts N] [-switch N] [-procs N] [-scale small|paper] [-fullcache]
+//	       [-dir-org full-map|limited-pointer|coarse-vector]
+//	       [-dir-pointers N] [-dir-coarseness N]
 //	       [-timeout D] [-seed N] [-obs] [-obs-dir DIR] [-obs-interval N]
 //	       [-obs-span-rate R] [-check] [-twin]
 //
@@ -27,6 +29,7 @@ import (
 
 	"latsim/internal/config"
 	"latsim/internal/core"
+	"latsim/internal/dirset"
 	"latsim/internal/obs"
 	"latsim/internal/stats"
 	"latsim/internal/twin"
@@ -43,6 +46,9 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "data-set scale: small or paper")
 	fullcache := flag.Bool("fullcache", false, "use full 64KB/256KB caches instead of scaled 2KB/4KB")
 	meshNet := flag.Bool("mesh", false, "use the 2-D wormhole mesh interconnect instead of the direct network")
+	dirOrg := flag.String("dir-org", "full-map", "directory organization: full-map, limited-pointer or coarse-vector")
+	dirPointers := flag.Int("dir-pointers", 4, "limited-pointer directory: pointers per entry before broadcast overflow")
+	dirCoarseness := flag.Int("dir-coarseness", 4, "coarse-vector directory: processors per sharer bit")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run, e.g. 30s (0 = unbounded)")
 	seed := flag.Int64("seed", 0, "workload seed override (0 = the paper's seeds)")
 	obsFlag := flag.Bool("obs", false, "record observability data and write report + Chrome trace artifacts")
@@ -85,15 +91,17 @@ func main() {
 		cfg = cfg.FullCaches()
 	}
 	cfg.MeshNetwork = *meshNet
-	if err := cfg.Validate(); err != nil {
+	org, err := dirset.ParseOrg(*dirOrg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "latsim:", err)
 		os.Exit(2)
 	}
-	if *checkFlag {
-		if err := config.ValidateCheck(&cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "latsim:", err)
-			os.Exit(2)
-		}
+	cfg.DirOrg = org
+	cfg.DirPointers = *dirPointers
+	cfg.DirCoarseness = *dirCoarseness
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "latsim:", err)
+		os.Exit(2)
 	}
 
 	s := core.NewSession(scale)
@@ -133,6 +141,10 @@ func main() {
 	fmt.Printf("  shared refs:        %d reads (%.0f%% hit), %d writes (%.0f%% hit)\n",
 		res.SharedReads(), 100*res.ReadHitRate(), res.SharedWrites(), 100*res.WriteHitRate())
 	fmt.Printf("  sync:               %d lock acquires, %d barrier arrivals\n", res.Locks(), res.Barriers())
+	if cfg.DirOrg != dirset.FullMap {
+		fmt.Printf("  dir invals:         %d sent, %d spurious, %d overflows (%s)\n",
+			res.InvalsSent(), res.SpuriousInvals(), res.DirOverflows(), cfg.DirOrg)
+	}
 	if res.Prefetches() > 0 {
 		fmt.Printf("  prefetches:         %d issued\n", res.Prefetches())
 	}

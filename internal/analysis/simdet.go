@@ -35,7 +35,11 @@ const UnorderedMarker = "//simdet:unordered"
 //     rand.New(rand.NewSource(seed)) is fine);
 //   - ranging over a map, unless the body is recognizably
 //     order-insensitive (counter updates, per-key writes, deletes) or
-//     the site carries a //simdet:unordered justification.
+//     the site carries a //simdet:unordered justification;
+//   - ranging over any map whose expression names a sharer collection
+//     (contains "sharer", case-insensitively), regardless of the body:
+//     sharer sets must live behind dirset, whose ForEach iterates in
+//     ascending order by contract.
 func NewSimdet(pkgPaths ...string) *Analyzer {
 	if len(pkgPaths) == 0 {
 		pkgPaths = DefaultSimdetPackages
@@ -113,11 +117,37 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, marked map[int]bool) {
 	if marked[line] || marked[line-1] {
 		return
 	}
+	// Sharer sets are special-cased: invalidation fan-out order is part
+	// of the deterministic event order AND of the dirset representation
+	// contract (every View.ForEach iterates ascending), so a map-backed
+	// sharer collection is flagged even when the loop body looks
+	// order-insensitive — the representation itself is the bug.
+	if mentionsSharer(rs.X) {
+		pass.Reportf(rs.Pos(),
+			"sharer sets must not be map-backed: invalidation order is part of the deterministic event order; use dirset (View.ForEach iterates ascending) or justify with %s", UnorderedMarker)
+		return
+	}
 	if orderInsensitive(rs.Body.List) {
 		return
 	}
 	pass.Reportf(rs.Pos(),
 		"map iteration order reaches order-sensitive code; sort the keys first or justify with %s", UnorderedMarker)
+}
+
+// mentionsSharer reports whether the ranged expression names a sharer
+// collection (any identifier or field selector containing "sharer",
+// case-insensitively).
+func mentionsSharer(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok &&
+			strings.Contains(strings.ToLower(id.Name), "sharer") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // unorderedLines collects the lines carrying a //simdet:unordered

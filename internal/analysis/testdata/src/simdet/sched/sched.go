@@ -41,6 +41,36 @@ func orderDependentCall(m map[int]int, f func(int)) {
 	}
 }
 
+func sharerFanout(sharers map[int]bool) int {
+	n := 0
+	// The body is a pure count — order-insensitive — but a map-backed
+	// sharer collection is flagged regardless: sharer sets must live
+	// behind dirset, whose iteration order is ascending by contract.
+	for range sharers { // want `sharer sets must not be map-backed`
+		n++
+	}
+	return n
+}
+
+type dirLine struct {
+	sharerMask map[int]struct{}
+}
+
+func (d *dirLine) invalidateAll(send func(int)) {
+	for id := range d.sharerMask { // want `sharer sets must not be map-backed`
+		send(id)
+	}
+}
+
+func sharerJustified(sharers map[int]bool) int {
+	n := 0
+	//simdet:unordered — footprint count only; no event order depends on it
+	for range sharers {
+		n++
+	}
+	return n
+}
+
 // --- negative cases: all silent ---
 
 func sum(m map[int]int) int {

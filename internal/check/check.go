@@ -7,11 +7,15 @@
 //
 //  1. Single dirty owner: at most one cache holds a line Dirty,
 //     machine-wide, at every observed instant.
-//  2. Sharer-bitmap / cache-state agreement: a cached copy implies the
+//  2. Sharer-set / cache-state agreement: a cached copy implies the
 //     home directory accounts for it — the node is in the sharer set
 //     (DirShared), is the recorded owner (DirDirty), or an invalidation
-//     is in flight to it. Stale sharer bits without a copy are legal
-//     (silent eviction); copies without accounting are not.
+//     is in flight to it. The sharer set is a superset of the true
+//     sharers: stale members without a copy are legal (silent eviction,
+//     and — for the imprecise limited-pointer/coarse-vector directory
+//     organizations — representation slack); copies without accounting
+//     are not. The superset rule is what makes one agreement invariant
+//     hold across every dirset.Org.
 //  3. MSHR / victim-buffer exclusivity: a node never has both an
 //     outstanding miss and a pending writeback for the same line.
 //  4. Write-buffer FIFO: under the ordered configurations (PC, or SC
@@ -39,6 +43,7 @@ package check
 import (
 	"fmt"
 
+	"latsim/internal/dirset"
 	"latsim/internal/mem"
 	"latsim/internal/sim"
 )
@@ -72,8 +77,11 @@ type Inspector interface {
 	// HomeOf returns the home node of a line.
 	HomeOf(line mem.Line) int
 	// Dir returns the directory entry for a line at its home (a line
-	// with no entry yet is DirUncached).
-	Dir(home int, line mem.Line) (state DirState, sharers uint64, owner int, busy bool)
+	// with no entry yet is DirUncached with dirset.None). The sharer
+	// view is the directory's own representation — a superset of the
+	// true sharers for imprecise organizations — so the checker works
+	// unmodified at any machine size and any dirset.Org.
+	Dir(home int, line mem.Line) (state DirState, sharers dirset.View, owner int, busy bool)
 	// CacheState returns node's secondary-cache state for a line.
 	CacheState(node int, line mem.Line) CacheState
 	// HasMSHR reports whether node has an outstanding miss for line.
@@ -160,13 +168,17 @@ func (c *Checker) DirEvent(home int, line mem.Line) {
 }
 
 // FillApplied is called at a requesting node right after a fill
-// installed (and possibly immediately invalidated) a line.
+// installed (and possibly immediately invalidated) a line. Only that
+// node's state changed, so only its agreement is re-evaluated (the
+// machine-wide single-dirty-owner scan runs on directory events and in
+// the quiescent sweep) — keeping the per-hook cost O(1) instead of
+// O(nodes) so 1024-node machines stay checkable.
 func (c *Checker) FillApplied(node int, line mem.Line) {
 	if c == nil {
 		return
 	}
 	c.tick()
-	c.checkLine(line)
+	c.checkNode(node, line)
 }
 
 // InvalSent is called at the home for each invalidation it fans out to
@@ -196,7 +208,7 @@ func (c *Checker) InvalApplied(node int, line mem.Line) {
 	if c.invals[k]--; c.invals[k] == 0 {
 		delete(c.invals, k)
 	}
-	c.checkLine(line)
+	c.checkNode(node, line)
 }
 
 // WBEnqueue is called when a write occupies a new write-buffer entry
@@ -226,7 +238,14 @@ func (c *Checker) WBRetire(node int, pos int) {
 	c.wbLen[node]--
 }
 
-// checkLine evaluates the per-line invariants after a state change.
+// checkLine evaluates the machine-wide per-line invariants after a
+// directory state change. The scan is O(nodes) but cheap per node:
+// invalid lines (the overwhelming majority at scale) fall through with
+// one cache-state peek, and the in-flight-invalidation and MSHR/victim
+// map lookups only run for nodes that actually hold a copy or own the
+// line. The per-node MSHR/victim exclusivity invariant lives in
+// checkNode (the node whose buffers changed) and the quiescent
+// memsys.CheckInvariants sweep, not here.
 func (c *Checker) checkLine(line mem.Line) {
 	c.checks++
 	home := c.insp.HomeOf(line)
@@ -238,38 +257,61 @@ func (c *Checker) checkLine(line mem.Line) {
 		if cs == CacheDirty {
 			dirty++
 		}
-		if c.insp.HasMSHR(node, line) && c.insp.HasVictim(node, line) {
-			c.violate(line, node, "line has both an outstanding miss and a pending writeback")
-		}
 		if busy {
 			// Ownership transfer mid-flight: directory/cache agreement
 			// is re-established by the transfer's completion.
 			continue
 		}
-		switch state {
-		case DirUncached:
-			if cs != CacheInvalid && !c.invalInFlight(node, line) {
-				c.violate(line, node, "cached copy of a line the directory says is uncached")
-			}
-		case DirShared:
-			if cs == CacheDirty {
-				c.violate(line, node, "dirty copy of a line the directory says is shared")
-			}
-			if cs == CacheShared && sharers&(1<<uint(node)) == 0 && !c.invalInFlight(node, line) {
-				c.violate(line, node, "shared copy not in the directory's sharer set")
-			}
-		case DirDirty:
-			if node == owner {
-				if cs != CacheDirty && !c.insp.HasMSHR(node, line) && !c.insp.HasVictim(node, line) {
-					c.violate(line, node, "recorded owner holds no dirty copy and has no transaction in flight")
-				}
-			} else if cs != CacheInvalid && !c.invalInFlight(node, line) {
-				c.violate(line, node, "non-owner copy of a line the directory says is dirty")
-			}
+		if cs == CacheInvalid && !(state == DirDirty && node == owner) {
+			// No copy and nothing owed: agreement holds trivially.
+			continue
 		}
+		c.checkAgreement(node, line, cs, state, sharers, owner)
 	}
 	if dirty > 1 {
 		c.violate(line, owner, "%d dirty copies; at most one is allowed", dirty)
+	}
+}
+
+// checkNode evaluates the single-node invariants after node's own state
+// for line changed (a fill installed, an invalidation applied): its
+// directory agreement and its MSHR/victim-buffer exclusivity.
+func (c *Checker) checkNode(node int, line mem.Line) {
+	c.checks++
+	if c.insp.HasMSHR(node, line) && c.insp.HasVictim(node, line) {
+		c.violate(line, node, "line has both an outstanding miss and a pending writeback")
+	}
+	home := c.insp.HomeOf(line)
+	state, sharers, owner, busy := c.insp.Dir(home, line)
+	if busy {
+		return
+	}
+	c.checkAgreement(node, line, c.insp.CacheState(node, line), state, sharers, owner)
+}
+
+// checkAgreement asserts one node's directory/cache agreement given an
+// already-fetched (non-busy) directory entry.
+func (c *Checker) checkAgreement(node int, line mem.Line, cs CacheState, state DirState, sharers dirset.View, owner int) {
+	switch state {
+	case DirUncached:
+		if cs != CacheInvalid && !c.invalInFlight(node, line) {
+			c.violate(line, node, "cached copy of a line the directory says is uncached")
+		}
+	case DirShared:
+		if cs == CacheDirty {
+			c.violate(line, node, "dirty copy of a line the directory says is shared")
+		}
+		if cs == CacheShared && !sharers.Contains(node) && !c.invalInFlight(node, line) {
+			c.violate(line, node, "shared copy not in the directory's sharer set")
+		}
+	case DirDirty:
+		if node == owner {
+			if cs != CacheDirty && !c.insp.HasMSHR(node, line) && !c.insp.HasVictim(node, line) {
+				c.violate(line, node, "recorded owner holds no dirty copy and has no transaction in flight")
+			}
+		} else if cs != CacheInvalid && !c.invalInFlight(node, line) {
+			c.violate(line, node, "non-owner copy of a line the directory says is dirty")
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"latsim/internal/dirset"
 	"latsim/internal/mem"
 	"latsim/internal/sim"
 )
@@ -14,7 +15,7 @@ import (
 type fakeInsp struct {
 	nodes   int
 	state   DirState
-	sharers uint64
+	sharers dirset.Set
 	owner   int
 	busy    bool
 	cache   map[int]CacheState
@@ -24,7 +25,7 @@ type fakeInsp struct {
 
 func (f *fakeInsp) NumNodes() int         { return f.nodes }
 func (f *fakeInsp) HomeOf(l mem.Line) int { return 0 }
-func (f *fakeInsp) Dir(home int, l mem.Line) (DirState, uint64, int, bool) {
+func (f *fakeInsp) Dir(home int, l mem.Line) (DirState, dirset.View, int, bool) {
 	return f.state, f.sharers, f.owner, f.busy
 }
 func (f *fakeInsp) CacheState(node int, l mem.Line) CacheState { return f.cache[node] }
@@ -33,10 +34,11 @@ func (f *fakeInsp) HasVictim(node int, l mem.Line) bool        { return f.victim
 
 func newFake() *fakeInsp {
 	return &fakeInsp{
-		nodes:  4,
-		cache:  map[int]CacheState{},
-		mshr:   map[int]bool{},
-		victim: map[int]bool{},
+		nodes:   4,
+		sharers: dirset.New(dirset.FullMap, 4, 0, 0),
+		cache:   map[int]CacheState{},
+		mshr:    map[int]bool{},
+		victim:  map[int]bool{},
 	}
 }
 
@@ -73,7 +75,8 @@ func wantViolation(t *testing.T, c *Checker, substr string) {
 func TestCleanSharedState(t *testing.T) {
 	f := newFake()
 	f.state = DirShared
-	f.sharers = 1<<1 | 1<<3
+	f.sharers.Add(1)
+	f.sharers.Add(3)
 	f.cache[1] = CacheShared
 	f.cache[3] = CacheShared
 	c := newChecker(f, true)
@@ -89,7 +92,7 @@ func TestStaleSharerBitIsLegal(t *testing.T) {
 	// gone. DASH tolerates this (the next invalidation is stale).
 	f := newFake()
 	f.state = DirShared
-	f.sharers = 1 << 2
+	f.sharers.Add(2)
 	c := newChecker(f, true)
 	c.DirEvent(0, line)
 	wantClean(t, c)
@@ -102,7 +105,7 @@ func TestSingleDirtyOwner(t *testing.T) {
 	f.cache[1] = CacheDirty
 	f.cache[2] = CacheDirty
 	c := newChecker(f, true)
-	// Excuse node 2's copy from bitmap agreement (invalidation in
+	// Excuse node 2's copy from sharer-set agreement (invalidation in
 	// flight) so the machine-wide dirty count is the check that fires:
 	// two dirty copies are illegal even mid-invalidation.
 	c.InvalSent(2, line)
@@ -113,10 +116,47 @@ func TestSingleDirtyOwner(t *testing.T) {
 func TestSharedCopyNotInSharerSet(t *testing.T) {
 	f := newFake()
 	f.state = DirShared
-	f.sharers = 1 << 1
+	f.sharers.Add(1)
 	f.cache[1] = CacheShared
 	f.cache[2] = CacheShared // unaccounted copy
 	c := newChecker(f, true)
+	c.DirEvent(0, line)
+	wantViolation(t, c, "not in the directory's sharer set")
+}
+
+func TestImpreciseSupersetExcusesCopy(t *testing.T) {
+	// An overflowed limited-pointer entry represents every node, so a
+	// copy the pointers never tracked still agrees with the directory —
+	// the superset rule in action.
+	f := newFake()
+	f.state = DirShared
+	f.sharers = dirset.New(dirset.LimitedPtr, 4, 1, 0)
+	f.sharers.Add(0)
+	f.sharers.Add(1) // overflow → broadcast mode
+	f.cache[2] = CacheShared
+	c := newChecker(f, true)
+	c.DirEvent(0, line)
+	wantClean(t, c)
+	if f.sharers.Precise() {
+		t.Fatal("test premise broken: the set must be imprecise")
+	}
+}
+
+func TestCoarseGroupExcusesCopy(t *testing.T) {
+	// A coarse-vector group bit covers the whole group: node 3's copy is
+	// accounted for by node 2's membership (same 2-node group).
+	f := newFake()
+	f.state = DirShared
+	f.sharers = dirset.New(dirset.CoarseVector, 4, 0, 2)
+	f.sharers.Add(2)
+	f.cache[2] = CacheShared
+	f.cache[3] = CacheShared
+	c := newChecker(f, true)
+	c.DirEvent(0, line)
+	wantClean(t, c)
+
+	// A copy outside every marked group is still a violation.
+	f.cache[0] = CacheShared
 	c.DirEvent(0, line)
 	wantViolation(t, c, "not in the directory's sharer set")
 }
@@ -126,7 +166,7 @@ func TestInFlightInvalidationExcusesCopy(t *testing.T) {
 	// invalidation; until it lands, the copy is legal.
 	f := newFake()
 	f.state = DirShared
-	f.sharers = 1 << 1
+	f.sharers.Add(1)
 	f.cache[1] = CacheShared
 	f.cache[2] = CacheShared
 	c := newChecker(f, true)
@@ -165,7 +205,7 @@ func TestUncachedWithCopy(t *testing.T) {
 func TestDirtyUnderShared(t *testing.T) {
 	f := newFake()
 	f.state = DirShared
-	f.sharers = 1 << 1
+	f.sharers.Add(1)
 	f.cache[1] = CacheDirty
 	c := newChecker(f, true)
 	c.DirEvent(0, line)
@@ -212,6 +252,9 @@ func TestNonOwnerCopyUnderDirty(t *testing.T) {
 }
 
 func TestMSHRVictimExclusivity(t *testing.T) {
+	// The exclusivity invariant is node-local: it fires on the hooks for
+	// the node whose buffers changed (fill/invalidation), not on the
+	// directory scan.
 	f := newFake()
 	f.state = DirDirty
 	f.owner = 1
@@ -219,8 +262,20 @@ func TestMSHRVictimExclusivity(t *testing.T) {
 	f.mshr[2] = true
 	f.victim[2] = true
 	c := newChecker(f, true)
-	c.DirEvent(0, line)
+	c.FillApplied(2, line)
 	wantViolation(t, c, "both an outstanding miss and a pending writeback")
+}
+
+func TestFillAppliedChecksAgreement(t *testing.T) {
+	// A fill that installs a copy the directory does not account for is
+	// caught by the node-local hook itself.
+	f := newFake()
+	f.state = DirShared
+	f.sharers.Add(1)
+	f.cache[2] = CacheShared
+	c := newChecker(f, true)
+	c.FillApplied(2, line)
+	wantViolation(t, c, "not in the directory's sharer set")
 }
 
 func TestBusySuspendsAgreement(t *testing.T) {

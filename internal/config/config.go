@@ -6,6 +6,9 @@ package config
 import (
 	"fmt"
 	"net"
+	"strings"
+
+	"latsim/internal/dirset"
 )
 
 // Consistency selects the memory consistency model.
@@ -114,6 +117,19 @@ type Config struct {
 	// is off; it is studied as an ablation.
 	ExclusiveGrant bool
 
+	// DirOrg selects the directory's sharer-set organization. The
+	// default full-map is exact at any machine size; limited-pointer and
+	// coarse-vector trade precision for per-entry storage (DESIGN.md
+	// §4e). Imprecise organizations send extra (spurious) invalidations
+	// but never miss a true sharer.
+	DirOrg dirset.Org
+	// DirPointers is the pointer count i of the limited-pointer Dir_i B
+	// organization (ignored by the other organizations).
+	DirPointers int
+	// DirCoarseness is the processors-per-bit group size k of the
+	// coarse-vector organization (ignored by the other organizations).
+	DirCoarseness int
+
 	Lat Latencies
 }
 
@@ -173,6 +189,9 @@ func Default() Config {
 		PrefetchIssueCycles:  2,
 		MeshHopCycles:        6,
 		MeshLinkOccupancy:    2,
+		DirOrg:               dirset.FullMap,
+		DirPointers:          4,
+		DirCoarseness:        4,
 		Lat: Latencies{
 			SecLookup:           7,
 			FillSec:             2,
@@ -237,16 +256,22 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("config: MeshLinkOccupancy = %d, need >= 1 with MeshNetwork", c.MeshLinkOccupancy)
 		}
 	}
-	return nil
-}
-
-// ValidateCheck reports whether the runtime coherence invariant checker
-// can model the configuration. The checker mirrors the directory's
-// full-bit-vector sharer set in a uint64, so machines beyond 64 nodes
-// must run without -check rather than silently skipping bitmap checks.
-func ValidateCheck(c *Config) error {
-	if c.Procs > 64 {
-		return fmt.Errorf("config: -check cannot model Procs = %d: the coherence checker mirrors the directory's 64-bit sharer vector; use <= 64 processors or drop -check", c.Procs)
+	if !c.DirOrg.Valid() {
+		return fmt.Errorf("config: unknown directory organization DirOrg(%d) (valid: %s)",
+			int(c.DirOrg), strings.Join(dirset.OrgNames, ", "))
+	}
+	switch c.DirOrg {
+	case dirset.LimitedPtr:
+		if c.DirPointers < 1 {
+			return fmt.Errorf("config: DirPointers = %d, need >= 1 with the limited-pointer organization", c.DirPointers)
+		}
+	case dirset.CoarseVector:
+		if c.DirCoarseness < 1 {
+			return fmt.Errorf("config: DirCoarseness = %d, need >= 1 with the coarse-vector organization", c.DirCoarseness)
+		}
+		if c.Procs <= c.DirPointers {
+			return fmt.Errorf("config: coarse-vector at Procs = %d <= DirPointers = %d is pointless: a limited-pointer (or full-map) directory is already exact there", c.Procs, c.DirPointers)
+		}
 	}
 	return nil
 }
@@ -300,6 +325,12 @@ func (c *Config) Name() string {
 	}
 	if c.Contexts > 1 {
 		s += fmt.Sprintf("-%dctx/%d", c.Contexts, c.SwitchPenalty)
+	}
+	switch c.DirOrg {
+	case dirset.LimitedPtr:
+		s += fmt.Sprintf("-dirLP%d", c.DirPointers)
+	case dirset.CoarseVector:
+		s += fmt.Sprintf("-dirCV%d", c.DirCoarseness)
 	}
 	return s
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"latsim/internal/dirset"
 )
 
 func TestDefaultIsValid(t *testing.T) {
@@ -35,6 +37,10 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"mesh non-square", func(c *Config) { c.MeshNetwork = true; c.Procs = 12 }, "square"},
 		{"mesh zero hop", func(c *Config) { c.MeshNetwork = true; c.MeshHopCycles = 0 }, "MeshHopCycles"},
 		{"mesh zero occupancy", func(c *Config) { c.MeshNetwork = true; c.MeshLinkOccupancy = -2 }, "MeshLinkOccupancy"},
+		{"unknown dir org", func(c *Config) { c.DirOrg = dirset.Org(9) }, "full-map, limited-pointer, coarse-vector"},
+		{"zero pointers", func(c *Config) { c.DirOrg = dirset.LimitedPtr; c.DirPointers = 0 }, "DirPointers"},
+		{"zero coarseness", func(c *Config) { c.DirOrg = dirset.CoarseVector; c.DirCoarseness = 0 }, "DirCoarseness"},
+		{"coarse at tiny machine", func(c *Config) { c.DirOrg = dirset.CoarseVector; c.Procs = 4 }, "pointless"},
 	}
 	for _, tc := range cases {
 		cfg := Default()
@@ -103,6 +109,38 @@ func TestName(t *testing.T) {
 	cfg.CacheShared = false
 	if got := cfg.Name(); !strings.HasPrefix(got, "nocache-") {
 		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestNameDirOrgLabels(t *testing.T) {
+	cfg := Default()
+	cfg.DirOrg = dirset.LimitedPtr
+	if got := cfg.Name(); got != "SC-dirLP4" {
+		t.Errorf("limited-pointer Name = %q", got)
+	}
+	cfg.DirOrg = dirset.CoarseVector
+	cfg.DirCoarseness = 8
+	if got := cfg.Name(); got != "SC-dirCV8" {
+		t.Errorf("coarse-vector Name = %q", got)
+	}
+	// The default full-map keeps the historical labels (cache keys and
+	// report output unchanged).
+	cfg = Default()
+	if got := cfg.Name(); got != "SC" {
+		t.Errorf("full-map Name = %q", got)
+	}
+}
+
+func TestValidateAcceptsScaledDirOrgs(t *testing.T) {
+	for _, procs := range []int{64, 256, 1024} {
+		for _, org := range []dirset.Org{dirset.FullMap, dirset.LimitedPtr, dirset.CoarseVector} {
+			cfg := Default()
+			cfg.Procs = procs
+			cfg.DirOrg = org
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("Procs=%d org=%v: %v", procs, org, err)
+			}
+		}
 	}
 }
 

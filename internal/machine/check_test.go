@@ -124,14 +124,25 @@ func TestCheckCleanAcrossVariants(t *testing.T) {
 	}
 }
 
-func TestEnableCheckRejectsUnmodelableConfig(t *testing.T) {
+// TestEnableCheckPast64Procs pins the lifted cap: the checker no longer
+// mirrors the sharer set in a uint64, so machines beyond 64 nodes run
+// under -check (the former ValidateCheck rejected Procs > 64). The full
+// 256-proc all-organizations sweep lives in dirorg_test.go.
+func TestEnableCheckPast64Procs(t *testing.T) {
 	cfg := smallCfg(func(c *config.Config) { c.Procs = 100 })
 	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.EnableCheck(); err == nil {
-		t.Fatal("EnableCheck accepted Procs = 100; the checker's sharer mirror is 64-bit")
+	if _, err := m.EnableCheck(); err != nil {
+		t.Fatalf("EnableCheck rejected Procs = 100: %v", err)
+	}
+	res, err := m.Run(contentionApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvariantChecks == 0 {
+		t.Error("100-proc checked run performed no invariant checks")
 	}
 }
 

@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"latsim/internal/config"
+	"latsim/internal/dirset"
+	"latsim/internal/obs"
+)
+
+// TestCrossOrgIdenticalBelowCapacity: on a machine where the sharer
+// count can never exceed the pointer capacity (4 nodes, 4 pointers), the
+// limited-pointer directory never overflows, so it is exactly as precise
+// as the full-map — the two runs must produce the identical Result
+// (timing, statistics, everything but the Cfg field itself) and the
+// identical final cache state on every node.
+func TestCrossOrgIdenticalBelowCapacity(t *testing.T) {
+	run := func(org dirset.Org) (*Result, [][]string) {
+		t.Helper()
+		cfg := smallCfg(func(c *config.Config) { c.DirOrg = org })
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(contentionApp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps [][]string
+		for _, n := range m.Nodes() {
+			snaps = append(snaps, n.CacheSnapshot())
+		}
+		return res, snaps
+	}
+	full, fullSnaps := run(dirset.FullMap)
+	lp, lpSnaps := run(dirset.LimitedPtr)
+
+	if got := lp.DirOverflows(); got != 0 {
+		t.Fatalf("limited-pointer overflowed %d times with sharers <= pointers", got)
+	}
+	if !reflect.DeepEqual(fullSnaps, lpSnaps) {
+		t.Errorf("final cache state differs:\nfull-map:        %v\nlimited-pointer: %v", fullSnaps, lpSnaps)
+	}
+	// Equalize the one field that legitimately differs, then demand
+	// byte-identical results.
+	lp.Cfg = full.Cfg
+	a, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("Result differs below overflow capacity:\nfull-map:        %s\nlimited-pointer: %s", a, b)
+	}
+}
+
+// TestLimitedPtrOverflowBroadcasts: with fewer pointers than sharers the
+// directory must overflow to broadcast mode and the protocol must stay
+// coherent — the run completes clean under the invariant checker, and
+// the overflow/spurious accounting registers the representation's cost.
+func TestLimitedPtrOverflowBroadcasts(t *testing.T) {
+	cfg := smallCfg(func(c *config.Config) {
+		c.Procs = 16
+		c.DirOrg = dirset.LimitedPtr
+		c.DirPointers = 2
+	})
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := m.EnableCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(contentionApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := chk.Violations(); v != 0 {
+		t.Fatalf("%d invariant violations; first: %v", v, chk.Err())
+	}
+	if res.DirOverflows() == 0 {
+		t.Error("2-pointer directory on a 16-node contention workload never overflowed")
+	}
+	if res.SpuriousInvals() == 0 {
+		t.Error("broadcast invalidations reported no spurious deliveries")
+	}
+	if res.InvalsSent() == 0 {
+		t.Error("no invalidations accounted")
+	}
+}
+
+// TestDirOrgsCheckCleanAt256Procs is the lifted-cap regression demanded
+// by the issue: a 256-processor machine — four times the old 64-bit
+// ceiling — runs the contention workload under the invariant checker
+// with every directory organization and comes back clean.
+func TestDirOrgsCheckCleanAt256Procs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-proc sweep is not short")
+	}
+	for _, org := range []dirset.Org{dirset.FullMap, dirset.LimitedPtr, dirset.CoarseVector} {
+		t.Run(org.String(), func(t *testing.T) {
+			cfg := smallCfg(func(c *config.Config) {
+				c.Procs = 256
+				c.DirOrg = org
+			})
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk, err := m.EnableCheck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(contentionApp())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := chk.Violations(); v != 0 {
+				t.Fatalf("%d invariant violations; first: %v", v, chk.Err())
+			}
+			if res.InvariantChecks == 0 {
+				t.Error("no invariant checks ran")
+			}
+		})
+	}
+}
+
+// TestInvalAccountingInWaterfall: a traced run carries the directory
+// organization's exact invalidation accounting on the waterfall.
+func TestInvalAccountingInWaterfall(t *testing.T) {
+	cfg := smallCfg(func(c *config.Config) {
+		c.Procs = 16
+		c.DirOrg = dirset.LimitedPtr
+		c.DirPointers = 2
+	})
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableObs(obs.Options{SpanRate: 1})
+	res, err := m.Run(contentionApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil || res.Obs.Waterfall == nil {
+		t.Fatal("traced run produced no waterfall")
+	}
+	inv := res.Obs.Waterfall.Inval
+	if inv == nil {
+		t.Fatal("waterfall carries no invalidation accounting")
+	}
+	if inv.Org != "limited-pointer" {
+		t.Errorf("Inval.Org = %q", inv.Org)
+	}
+	if inv.Sent != res.InvalsSent() || inv.Spurious != res.SpuriousInvals() || inv.Overflows != res.DirOverflows() {
+		t.Errorf("waterfall accounting %+v does not match result totals (%d/%d/%d)",
+			inv, res.InvalsSent(), res.SpuriousInvals(), res.DirOverflows())
+	}
+	if inv.Overflows == 0 {
+		t.Error("overflowing configuration recorded no overflows")
+	}
+}

@@ -109,9 +109,6 @@ func (m *Machine) EnableCheck() (*check.Checker, error) {
 	if m.chk != nil {
 		return m.chk, nil
 	}
-	if err := config.ValidateCheck(&m.cfg); err != nil {
-		return nil, err
-	}
 	// Strict node-level write-buffer FIFO holds under PC (one
 	// outstanding ownership request drains the buffer in order) and
 	// under single-context SC (the lone context stalls on each write).
@@ -293,6 +290,14 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 				}
 			}
 			res.Obs.Waterfall = span.Attribute(res.Obs.Spans, stalls)
+			if res.Obs.Waterfall != nil {
+				res.Obs.Waterfall.Inval = &span.InvalAccounting{
+					Org:       m.cfg.DirOrg.String(),
+					Sent:      res.InvalsSent(),
+					Spurious:  res.SpuriousInvals(),
+					Overflows: res.DirOverflows(),
+				}
+			}
 		}
 	}
 	return res, nil
@@ -331,6 +336,18 @@ func (r *Result) Barriers() uint64 {
 }
 func (r *Result) Prefetches() uint64 {
 	return r.Totals(func(p *stats.Proc) uint64 { return p.Prefetches })
+}
+
+// InvalsSent / DirOverflows / SpuriousInvals return machine totals of the
+// directory-organization accounting (DESIGN.md §4e).
+func (r *Result) InvalsSent() uint64 {
+	return r.Totals(func(p *stats.Proc) uint64 { return p.InvalsSent })
+}
+func (r *Result) DirOverflows() uint64 {
+	return r.Totals(func(p *stats.Proc) uint64 { return p.DirOverflows })
+}
+func (r *Result) SpuriousInvals() uint64 {
+	return r.Totals(func(p *stats.Proc) uint64 { return p.SpuriousInvals })
 }
 
 // ReadHitRate returns the shared-read cache hit rate (primary+secondary).

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"latsim/internal/check"
+	"latsim/internal/dirset"
 	"latsim/internal/mem"
 	"latsim/internal/sim"
 )
@@ -19,10 +20,10 @@ func (i inspector) HomeOf(l mem.Line) int {
 	return i.nodes[0].alloc.Home(mem.AddrOf(l))
 }
 
-func (i inspector) Dir(home int, l mem.Line) (check.DirState, uint64, int, bool) {
+func (i inspector) Dir(home int, l mem.Line) (check.DirState, dirset.View, int, bool) {
 	e, ok := i.nodes[home].dir[l]
 	if !ok {
-		return check.DirUncached, 0, 0, false
+		return check.DirUncached, dirset.None, 0, false
 	}
 	s := check.DirUncached
 	switch e.state {

@@ -6,6 +6,7 @@ import (
 
 	"latsim/internal/check"
 	"latsim/internal/config"
+	"latsim/internal/dirset"
 	"latsim/internal/mem"
 	"latsim/internal/obs"
 	"latsim/internal/obs/span"
@@ -25,11 +26,14 @@ const (
 	DirDirty
 )
 
-// dirEntry is the full-bit-vector directory entry for one line.
+// dirEntry is the directory entry for one line. The sharer set's
+// representation is picked by Config.DirOrg (exact full-map by default;
+// limited-pointer and coarse-vector for scaled machines) and always
+// holds a superset of the nodes with shared copies.
 type dirEntry struct {
 	state   dirState
-	sharers uint64 // bitmask of nodes with shared copies
-	owner   int    // owning node when state == DirDirty
+	sharers dirset.Set // nodes with (potential) shared copies
+	owner   int        // owning node when state == DirDirty
 
 	// busy serializes ownership-transfer transactions on the line: while
 	// a forwarded request is in flight to the owner, later requests for
@@ -270,10 +274,16 @@ func (n *Node) IsLocal(a mem.Addr) bool { return n.alloc.Home(a) == n.id }
 func (n *Node) entry(l mem.Line) *dirEntry {
 	e, ok := n.dir[l]
 	if !ok {
-		e = &dirEntry{state: DirUncached}
+		e = &dirEntry{state: DirUncached, sharers: n.newSharerSet()}
 		n.dir[l] = e
 	}
 	return e
+}
+
+// newSharerSet builds an empty sharer set in the configured organization
+// for this machine's size.
+func (n *Node) newSharerSet() dirset.Set {
+	return dirset.New(n.cfg.DirOrg, len(n.nodes), n.cfg.DirPointers, n.cfg.DirCoarseness)
 }
 
 // netMsg is one in-flight protocol message on the direct network: an Actor
@@ -458,7 +468,7 @@ func CheckInvariants(nodes []*Node) error {
 			case Shared:
 				if e.state == DirDirty {
 					err = fmt.Errorf("node %d has Shared copy of line %#x but directory says Dirty(owner %d)", node.id, l, e.owner)
-				} else if e.sharers&(1<<uint(node.id)) == 0 {
+				} else if !e.sharers.Contains(node.id) {
 					err = fmt.Errorf("node %d has Shared copy of line %#x but is not in sharer set", node.id, l)
 				}
 			case Dirty:
@@ -503,3 +513,16 @@ func CheckInvariants(nodes []*Node) error {
 
 // BusUtilization returns the node bus utilization (for reports).
 func (n *Node) BusUtilization() float64 { return n.bus.Utilization() }
+
+// CacheSnapshot returns the node's valid secondary-cache lines as
+// deterministic "line:state" strings, sorted by line. Tests use it to
+// assert that different directory organizations converge to the same
+// final memory state.
+func (n *Node) CacheSnapshot() []string {
+	var lines []string
+	n.sec.forEachValid(func(l mem.Line, st LineState) {
+		lines = append(lines, fmt.Sprintf("%#x:%d", uint64(l), int(st)))
+	})
+	sort.Strings(lines)
+	return lines
+}

@@ -281,18 +281,19 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 			// subsequent write by the reader hits locally.
 			e.state = DirDirty
 			e.owner = req.id
-			e.sharers = 0
+			e.sharers.Clear()
 			m.excl = true
 			h.dirEvent(l)
 			h.replyFill(req, m)
 			return
 		}
 		e.state = DirShared
-		e.sharers = 1 << uint(req.id)
+		e.sharers.Clear()
+		h.sharerAdd(e, req.id)
 		h.dirEvent(l)
 		h.replyFill(req, m)
 	case DirShared:
-		e.sharers |= 1 << uint(req.id)
+		h.sharerAdd(e, req.id)
 		h.dirEvent(l)
 		h.replyFill(req, m)
 	case DirDirty:
@@ -301,7 +302,9 @@ func (h *Node) dirRead(a mem.Addr, req *Node, m *mshr) {
 		}
 		owner := h.nodes[e.owner]
 		e.state = DirShared
-		e.sharers = 1<<uint(owner.id) | 1<<uint(req.id)
+		e.sharers.Clear()
+		h.sharerAdd(e, owner.id)
+		h.sharerAdd(e, req.id)
 		e.busy = true
 		h.dirEvent(l)
 		if h.rec != nil {
@@ -330,33 +333,40 @@ func (h *Node) dirWrite(a mem.Addr, req *Node, m *mshr) {
 	case DirUncached:
 		e.state = DirDirty
 		e.owner = req.id
-		e.sharers = 0
+		e.sharers.Clear()
 		h.dirEvent(l)
 		h.replyFill(req, m)
 	case DirShared:
-		// Invalidate every sharer except the requester; acks flow
-		// directly to the requester (DASH style).
+		// Invalidate every represented sharer except the requester; acks
+		// flow directly to the requester (DASH style). ForEach yields
+		// ascending node ids, preserving the event order of the old
+		// ascending bitmask scan. For an imprecise organization (an
+		// overflowed limited-pointer entry broadcasts machine-wide, a
+		// coarse-vector group fans out to every member) some targets hold
+		// no copy; those invalidations are spurious and ack harmlessly.
 		count := 0
-		for id := range h.nodes {
-			if e.sharers&(1<<uint(id)) != 0 && id != req.id {
-				count++
-				if h.rec != nil {
-					h.rec.DirTxn(obs.DirInval)
-				}
-				if h.chk != nil {
-					h.chk.InvalSent(id, l)
-				}
-				sharer := h.nodes[id]
-				im := sharer.invals.Get()
-				im.n, im.req, im.line = sharer, req, l
-				im.stage = invArrive
-				im.span = m.span.Child(span.KSegInval, id)
-				h.sendSpanTask(sharer, h.lat().Wire, sim.ActorTask(im), im.span)
+		e.sharers.ForEach(func(id int) {
+			if id == req.id {
+				return
 			}
-		}
+			count++
+			h.st.InvalsSent++
+			if h.rec != nil {
+				h.rec.DirTxn(obs.DirInval)
+			}
+			if h.chk != nil {
+				h.chk.InvalSent(id, l)
+			}
+			sharer := h.nodes[id]
+			im := sharer.invals.Get()
+			im.n, im.req, im.line = sharer, req, l
+			im.stage = invArrive
+			im.span = m.span.Child(span.KSegInval, id)
+			h.sendSpanTask(sharer, h.lat().Wire, sim.ActorTask(im), im.span)
+		})
 		e.state = DirDirty
 		e.owner = req.id
-		e.sharers = 0
+		e.sharers.Clear()
 		h.dirEvent(l)
 		req.addAcks(count)
 		h.replyFill(req, m)
@@ -459,6 +469,18 @@ func (h *Node) dirEvent(l mem.Line) {
 	}
 }
 
+// sharerAdd records id in the entry's sharer set and accounts the
+// overflow when the add tipped a limited-pointer entry into broadcast
+// mode (the Dir_i B overflow event).
+func (h *Node) sharerAdd(e *dirEntry, id int) {
+	if e.sharers.Add(id) {
+		h.st.DirOverflows++
+		if h.rec != nil {
+			h.rec.DirTxn(obs.DirOverflow)
+		}
+	}
+}
+
 // invalMsg carries one invalidation from the home to a sharer and the
 // acknowledgement from the sharer to the requesting writer.
 type invalMsg struct {
@@ -487,7 +509,8 @@ func (im *invalMsg) Act() {
 		n.bus.AcquireActor(sim.Time(n.lat().InvalApply), im)
 	case invApply:
 		l := im.line
-		if n.sec.State(l) == Dirty {
+		st := n.sec.State(l)
+		if st == Dirty {
 			// Stale invalidation: it was sent while this node held a
 			// shared copy, but the node's own upgrade — serialized at
 			// the home *after* the invalidating write — completed while
@@ -500,10 +523,24 @@ func (im *invalMsg) Act() {
 			n.sendSpanTask(im.req, n.lat().Wire, sim.ActorTask(im), im.span)
 			return
 		}
+		// An invalidation that finds no copy and no shared fill to kill
+		// is spurious: the directory's superset (a stale entry after a
+		// silent eviction, or an imprecise organization's slack) named a
+		// non-sharer. It still costs the wire, this bus hold and the ack
+		// — the precision-loss tax the directory-scaling experiment
+		// measures.
+		spurious := st == Invalid
 		if m, ok := n.mshrs[l]; ok && !m.excl {
 			// A shared-copy fill is in flight; it will install and be
 			// invalidated immediately, still satisfying its waiters.
 			m.invalidated = true
+			spurious = false
+		}
+		if spurious {
+			n.st.SpuriousInvals++
+			if n.rec != nil {
+				n.rec.DirTxn(obs.DirSpurious)
+			}
 		}
 		n.sec.Invalidate(l)
 		n.prim.Invalidate(l)
@@ -631,12 +668,14 @@ func (h *Node) dirWriteback(v *victimEntry) {
 	}
 	if e.state == DirDirty && e.owner == from.id {
 		e.state = DirUncached
-		e.sharers = 0
+		e.sharers.Clear()
 	} else {
 		// Stale writeback: the line was forwarded away before the
-		// writeback arrived. Drop the data; clear any stale sharer bit.
-		e.sharers &^= 1 << uint(from.id)
-		if e.state == DirShared && e.sharers == 0 {
+		// writeback arrived. Drop the data; clear any stale sharer entry
+		// (best-effort — an imprecise representation may keep the node as
+		// part of its superset).
+		e.sharers.Remove(from.id)
+		if e.state == DirShared && e.sharers.Len() == 0 {
 			e.state = DirUncached
 		}
 	}

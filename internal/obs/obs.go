@@ -94,11 +94,18 @@ const (
 	DirForward
 	// DirWriteback is a dirty-victim writeback processed at the home.
 	DirWriteback
+	// DirOverflow is a limited-pointer directory entry tipping into
+	// broadcast mode (a Dir_i B overflow at the home).
+	DirOverflow
+	// DirSpurious is an invalidation that reached a node holding no copy
+	// of the line — the cost of imprecise sharer tracking (and of stale
+	// entries after silent eviction).
+	DirSpurious
 
 	NumDirKinds
 )
 
-var dirKindNames = [NumDirKinds]string{"read", "write", "inval", "forward", "writeback"}
+var dirKindNames = [NumDirKinds]string{"read", "write", "inval", "forward", "writeback", "overflow", "spurious_inval"}
 
 // String returns the directory-transaction kind name used in reports.
 func (d DirKind) String() string {

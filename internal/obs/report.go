@@ -16,7 +16,8 @@ import (
 // lockstep with runner.SchemaVersion.
 //
 // v4: transaction spans + critical-path waterfall.
-const ReportSchema = 4
+// v5: directory-organization kinds (overflow, spurious_inval) in DirTxns.
+const ReportSchema = 5
 
 // NamedSeries is one per-interval counter series.
 type NamedSeries struct {
@@ -200,10 +201,10 @@ func (rep *Report) Series(name string) []uint64 {
 }
 
 // DirTotal returns the run's total count of the named directory
-// transaction kind ("read", "write", "inval", "forward", "writeback"),
-// or 0 if the kind never occurred. The analytical twin's workload
-// characterization derives dirty-remote and invalidation fractions from
-// these totals.
+// transaction kind ("read", "write", "inval", "forward", "writeback",
+// "overflow", "spurious_inval"), or 0 if the kind never occurred. The
+// analytical twin's workload characterization derives dirty-remote and
+// invalidation fractions from these totals.
 func (rep *Report) DirTotal(kind string) uint64 {
 	var total uint64
 	for _, s := range rep.DirTxns {

@@ -76,11 +76,29 @@ type ProcWaterfall struct {
 	Buckets []BucketWaterfall `json:"buckets"`
 }
 
+// InvalAccounting summarizes the run's invalidation traffic under the
+// configured directory organization: how many invalidations the
+// directories fanned out, how many arrived at nodes holding no copy
+// (spurious — the precision-loss tax of imprecise sharer sets and of
+// silent eviction), and how many limited-pointer entries overflowed to
+// broadcast. Populated by the machine from the stats counters, not from
+// sampled spans, so the numbers are exact regardless of the span sample
+// rate.
+type InvalAccounting struct {
+	Org       string `json:"org"`
+	Sent      uint64 `json:"sent"`
+	Spurious  uint64 `json:"spurious"`
+	Overflows uint64 `json:"overflows"`
+}
+
 // Waterfall is the machine-wide and per-processor critical-path
 // decomposition of one run.
 type Waterfall struct {
 	Total []BucketWaterfall `json:"total"`
 	Procs []ProcWaterfall   `json:"procs,omitempty"`
+	// Inval carries the directory organization's invalidation
+	// accounting (nil on reports from runs without it).
+	Inval *InvalAccounting `json:"inval,omitempty"`
 }
 
 // aggregate accumulates sampled cycles for one (scope, bucket) pair.

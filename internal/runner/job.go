@@ -40,7 +40,12 @@ import (
 // v6: stats.Proc carries write-run-length accounting (WriteRuns,
 // WriteRunSum, WriteRunMax, WriteRunHist), read by the analytical twin's
 // workload characterization.
-const SchemaVersion = 6
+//
+// v7: representation-agnostic directories — Config gained
+// DirOrg/DirPointers/DirCoarseness, stats.Proc the
+// InvalsSent/DirOverflows/SpuriousInvals counters, and the obs report
+// the overflow/spurious_inval DirTxn kinds (obs.ReportSchema 5).
+const SchemaVersion = 7
 
 // Job names one deterministic simulation: an application, a data-set
 // scale, an optional workload seed override (0 keeps the paper's seeds),

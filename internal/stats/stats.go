@@ -86,6 +86,15 @@ type Proc struct {
 	Barriers        uint64
 	Switches        uint64
 
+	// Directory-organization accounting (DESIGN.md §4e). InvalsSent and
+	// DirOverflows count at the home node's directory; SpuriousInvals
+	// counts at the node that received an invalidation for a line it no
+	// longer (or never) cached — the precision-loss tax of imprecise
+	// sharer representations and of silent Shared-victim eviction.
+	InvalsSent     uint64 // invalidations fanned out by this node's directory
+	DirOverflows   uint64 // limited-pointer entries tipped into broadcast mode
+	SpuriousInvals uint64 // invalidations applied here that found no copy
+
 	// Latency accounting for average-miss-latency reports.
 	ReadMissCycles sim.Time
 

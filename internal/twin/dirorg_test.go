@@ -1,0 +1,91 @@
+package twin
+
+import (
+	"math"
+	"testing"
+
+	"latsim/internal/config"
+	"latsim/internal/dirset"
+)
+
+// TestInvalFanoutScale pins the per-organization invalidation fan-out
+// model against its closed forms and its structural properties: full-map
+// is the identity, imprecision never reduces traffic, more pointers and
+// finer coarseness monotonically approach exactness, and degenerate
+// operating points (no invalidating writes) are left untouched.
+func TestInvalFanoutScale(t *testing.T) {
+	op := func(invals, dirWrites float64) *OpPoint {
+		return &OpPoint{Invals: invals, DirWrites: dirWrites}
+	}
+	cfg := func(org dirset.Org, procs, ptrs, k int) *config.Config {
+		c := config.Default()
+		c.Procs = procs
+		c.DirOrg = org
+		c.DirPointers = ptrs
+		c.DirCoarseness = k
+		return &c
+	}
+
+	if s := invalFanoutScale(cfg(dirset.FullMap, 64, 4, 4), op(200, 100)); s != 1 {
+		t.Errorf("full-map scale = %v, want 1", s)
+	}
+	if s := invalFanoutScale(cfg(dirset.LimitedPtr, 64, 4, 4), op(0, 0)); s != 1 {
+		t.Errorf("degenerate operating point scale = %v, want 1", s)
+	}
+
+	// Limited-pointer closed form at s̄ = 2, i = 3, P = 64:
+	// p = (2/3)^3, fanout = (1-p)·2 + p·63.
+	p := math.Pow(2.0/3.0, 3)
+	want := ((1-p)*2 + p*63) / 2
+	if got := invalFanoutScale(cfg(dirset.LimitedPtr, 64, 3, 4), op(200, 100)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("limited-pointer scale = %v, want %v", got, want)
+	}
+
+	// Coarse-vector closed form at s̄ = 2, k = 4, P = 64: B = 16,
+	// bits = 16·(1-(15/16)²), fanout = 4·bits.
+	bits := 16 * (1 - math.Pow(15.0/16.0, 2))
+	want = 4 * bits / 2
+	if got := invalFanoutScale(cfg(dirset.CoarseVector, 64, 4, 4), op(200, 100)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("coarse-vector scale = %v, want %v", got, want)
+	}
+
+	// Imprecision only adds traffic, and refining the representation
+	// monotonically approaches the exact scale of 1.
+	prev := math.Inf(1)
+	for _, ptrs := range []int{1, 2, 4, 8, 16} {
+		s := invalFanoutScale(cfg(dirset.LimitedPtr, 256, ptrs, 4), op(300, 100))
+		if s < 1 {
+			t.Errorf("limited-pointer(%d) scale = %v < 1", ptrs, s)
+		}
+		if s > prev {
+			t.Errorf("limited-pointer scale not monotone in pointers: %d -> %v (prev %v)", ptrs, s, prev)
+		}
+		prev = s
+	}
+	prev = math.Inf(1)
+	for _, k := range []int{64, 16, 4, 1} {
+		s := invalFanoutScale(cfg(dirset.CoarseVector, 256, 4, k), op(300, 100))
+		if s < 1 {
+			t.Errorf("coarse-vector(k=%d) scale = %v < 1", k, s)
+		}
+		if s > prev+1e-12 {
+			t.Errorf("coarse-vector scale not monotone in coarseness: k=%d -> %v (prev %v)", k, s, prev)
+		}
+		prev = s
+	}
+	// k = 1 is an exact bit vector.
+	if s := invalFanoutScale(cfg(dirset.CoarseVector, 256, 4, 1), op(300, 100)); math.Abs(s-1) > 1e-12 {
+		t.Errorf("coarse-vector(k=1) scale = %v, want 1", s)
+	}
+
+	// Broadcast ceiling: expected fan-out never exceeds P-1 receivers.
+	for _, c := range []*config.Config{
+		cfg(dirset.LimitedPtr, 16, 1, 4),
+		cfg(dirset.CoarseVector, 16, 4, 8),
+	} {
+		sbar := 10.0
+		if fanout := invalFanoutScale(c, op(1000, 100)) * sbar; fanout > 15+1e-9 {
+			t.Errorf("%s fan-out %v exceeds broadcast ceiling 15", c.DirOrg, fanout)
+		}
+	}
+}

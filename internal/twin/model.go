@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"latsim/internal/config"
+	"latsim/internal/dirset"
 	"latsim/internal/stats"
 )
 
@@ -380,7 +381,7 @@ func (m *Model) queues(cfg *config.Config, op *OpPoint, w, T float64) queueWaits
 		txn = reads + writes
 		remote = reads*frR + writes*frW
 	}
-	inval := op.Invals * w / T
+	inval := op.Invals * invalFanoutScale(cfg, op) * w / T
 	fwd := op.Forwards * w / T
 	wb := op.Writebacks * w / T
 
@@ -413,6 +414,55 @@ func (m *Model) queues(cfg *config.Config, op *OpPoint, w, T float64) queueWaits
 		}
 	}
 	return q
+}
+
+// invalFanoutScale converts the measured (full-map, exact) invalidation
+// rate into the configured directory organization's expected rate. The
+// characterization always runs full-map, so op.Invals counts exactly one
+// invalidation per true sharer; imprecise organizations send more. The
+// model works from the mean sharers-per-invalidating-write
+// s̄ = Invals/DirWrites:
+//
+//   - full-map: exact, scale 1.
+//   - limited-pointer (Dir_i B): treating the sharer count as geometric
+//     with mean s̄, the probability a write finds more than i sharers
+//     recorded — and therefore broadcasts to all Procs-1 others — is
+//     p = (s̄/(1+s̄))^i; expected fan-out (1-p)·s̄ + p·(Procs-1).
+//   - coarse-vector (k procs/bit): s̄ sharers scattered uniformly over
+//     B = ⌈Procs/k⌉ groups set E[bits] = B·(1-(1-1/B)^s̄) bits, each
+//     invalidating a whole k-group, capped at the broadcast ceiling.
+//
+// DESIGN.md §4e derives the terms alongside the simulator's counters.
+func invalFanoutScale(cfg *config.Config, op *OpPoint) float64 {
+	if cfg.DirOrg == dirset.FullMap || op.DirWrites <= 0 || op.Invals <= 0 {
+		return 1
+	}
+	sbar := op.Invals / op.DirWrites
+	bcast := float64(cfg.Procs - 1)
+	var fanout float64
+	switch cfg.DirOrg {
+	case dirset.LimitedPtr:
+		i := cfg.DirPointers
+		if i < 1 {
+			i = 1
+		}
+		p := math.Pow(sbar/(1+sbar), float64(i))
+		fanout = (1-p)*sbar + p*bcast
+	case dirset.CoarseVector:
+		k := cfg.DirCoarseness
+		if k < 1 {
+			k = 1
+		}
+		groups := float64((cfg.Procs + k - 1) / k)
+		bits := groups * (1 - math.Pow(1-1/groups, sbar))
+		fanout = math.Min(float64(k)*bits, bcast)
+	default:
+		return 1
+	}
+	if fanout < sbar {
+		fanout = sbar // imprecision can only add invalidations
+	}
+	return fanout / sbar
 }
 
 // predictMulti models a multiple-context configuration against the
