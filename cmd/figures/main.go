@@ -45,16 +45,6 @@ import (
 	"latsim/internal/twin"
 )
 
-// experiments lists every experiment id "all" runs, in order.
-var experiments = []string{"table1", "table2", "hitrates", "fig2", "fig3", "fig4", "fig5", "fig6",
-	"summary", "coverage", "fullcache", "spectrum", "scaling", "analytic", "ablations"}
-
-// extraExperiments are opt-in ids that "all" deliberately excludes:
-// dirscale simulates up to 1024 processors, and the -exp all output is a
-// byte-identity regression gate that must not change when opt-in
-// experiments are added.
-var extraExperiments = []string{"dirscale"}
-
 // main delegates to realMain so deferred cleanups (profile flush, session
 // close) run before the process exits.
 func main() { os.Exit(realMain()) }
@@ -68,6 +58,7 @@ func realMain() int {
 	twinFlag := flag.Bool("twin", false, "overlay the analytical twin's predicted totals on every figure (plain renderer only)")
 	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = no persistence)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "persistent-cache size cap; least-recently-used entries are evicted past it (0 = unbounded)")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout, e.g. 5m (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	obsFlag := flag.Bool("obs", false, "record observability data; write per-bar report + Chrome trace artifacts")
@@ -108,6 +99,7 @@ func realMain() int {
 	s := core.NewSession(scale)
 	s.Jobs = *jobs
 	s.CacheDir = *cacheDir
+	s.CacheMaxBytes = *cacheMax
 	s.Timeout = *timeout
 	defer s.Close()
 	if *verbose {
@@ -165,163 +157,20 @@ func realMain() int {
 		}
 		return chars, nil
 	}
-	render := func(f *core.Figure) error {
-		if err := writeObs(f); err != nil {
-			return err
-		}
-		if *asJSON {
-			b, err := f.JSON()
-			if err != nil {
-				return err
-			}
-			os.Stdout.Write(b)
-			fmt.Println()
-			return nil
-		}
-		if *bars {
-			f.RenderBars(os.Stdout, 60)
-			return nil
-		}
-		if *twinFlag {
-			c, err := twinChars()
-			if err != nil {
-				return err
-			}
-			f.RenderTwin(os.Stdout, c)
-			return nil
-		}
-		f.Render(os.Stdout)
-		return nil
+	// Rendering itself lives in core.RunExperiment (shared with every
+	// other front end, notably the sweep service, so outputs stay
+	// byte-identical); the CLI contributes only its option wiring and the
+	// blank separator line between experiments.
+	opt := &core.RenderOptions{JSON: *asJSON, Bars: *bars}
+	if *twinFlag {
+		opt.Twin = twinChars
+	}
+	if *obsFlag {
+		opt.Obs = writeObs
 	}
 	run := func(id string) error {
-		switch id {
-		case "table1":
-			rows, err := core.Table1()
-			if err != nil {
-				return err
-			}
-			core.RenderTable1(os.Stdout, rows)
-		case "table2":
-			rows, err := s.Table2()
-			if err != nil {
-				return err
-			}
-			core.RenderTable2(os.Stdout, rows)
-		case "fig2":
-			f, err := s.Figure2()
-			if err != nil {
-				return err
-			}
-			if err := render(f); err != nil {
-				return err
-			}
-		case "fig3":
-			f, err := s.Figure3()
-			if err != nil {
-				return err
-			}
-			if err := render(f); err != nil {
-				return err
-			}
-		case "fig4":
-			f, err := s.Figure4()
-			if err != nil {
-				return err
-			}
-			if err := render(f); err != nil {
-				return err
-			}
-		case "fig5":
-			f, err := s.Figure5()
-			if err != nil {
-				return err
-			}
-			if err := render(f); err != nil {
-				return err
-			}
-		case "fig6":
-			f, err := s.Figure6()
-			if err != nil {
-				return err
-			}
-			if err := render(f); err != nil {
-				return err
-			}
-		case "hitrates":
-			rows, err := s.HitRates()
-			if err != nil {
-				return err
-			}
-			core.RenderHitRates(os.Stdout, rows)
-		case "summary":
-			rows, err := s.Summary()
-			if err != nil {
-				return err
-			}
-			core.RenderSummary(os.Stdout, rows)
-		case "fullcache":
-			a, err := s.FullCacheAblation()
-			if err != nil {
-				return err
-			}
-			a.Render(os.Stdout)
-		case "ablations":
-			for _, fn := range []func() (*core.Ablation, error){
-				s.WriteBufferAblation, s.SwitchPenaltyAblation,
-				s.NetworkAblation, s.PipeliningAblation,
-				s.AssociativityAblation, s.ExclusiveGrantAblation, s.MeshAblation,
-			} {
-				a, err := fn()
-				if err != nil {
-					return err
-				}
-				a.Render(os.Stdout)
-				fmt.Println()
-			}
-		case "spectrum":
-			f, err := s.ConsistencySpectrum()
-			if err != nil {
-				return err
-			}
-			if err := render(f); err != nil {
-				return err
-			}
-		case "scaling":
-			pts, err := s.ScalingSweep()
-			if err != nil {
-				return err
-			}
-			core.RenderScaling(os.Stdout, pts)
-		case "coverage":
-			rows, err := s.PrefetchCoverage()
-			if err != nil {
-				return err
-			}
-			core.RenderCoverage(os.Stdout, rows)
-		case "analytic":
-			pts, err := s.AnalyticContexts()
-			if err != nil {
-				return err
-			}
-			core.RenderAnalytic(os.Stdout, pts)
-		case "dirscale":
-			pts, err := s.DirScaleSweep()
-			if err != nil {
-				return err
-			}
-			if *asJSON {
-				b, err := core.DirScaleJSON(pts)
-				if err != nil {
-					return err
-				}
-				os.Stdout.Write(b)
-				fmt.Println()
-			} else {
-				core.RenderDirScale(os.Stdout, pts)
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q (valid: all, %s, %s)",
-				id, strings.Join(experiments, ", "), strings.Join(extraExperiments, ", "))
+		if err := s.RunExperiment(os.Stdout, id, opt); err != nil {
+			return err
 		}
 		fmt.Println()
 		return nil
@@ -333,13 +182,13 @@ func realMain() int {
 		switch id {
 		case "":
 		case "all":
-			ids = append(ids, experiments...)
+			ids = append(ids, core.ExperimentIDs...)
 		default:
 			ids = append(ids, id)
 		}
 	}
 	if len(ids) == 0 {
-		ids = experiments
+		ids = core.ExperimentIDs
 	}
 	var prev runner.Metrics
 	for _, id := range ids {

@@ -1,0 +1,121 @@
+// Command sweepd serves the sweep control plane: a long-lived HTTP
+// service that runs simulation sweeps on behalf of many clients over
+// one shared engine, deduplicating identical work across them.
+//
+// Submit a figure and fetch its result (byte-identical to cmd/figures):
+//
+//	sweepd -listen 127.0.0.1:8080 -cache-dir ~/.cache/latsim &
+//	curl -d '{"experiment": "fig2"}' http://127.0.0.1:8080/v1/sweeps
+//	curl http://127.0.0.1:8080/v1/sweeps/s1          # status
+//	curl http://127.0.0.1:8080/v1/sweeps/s1/result   # rendered figure
+//
+// On SIGTERM or SIGINT the service drains: it stops accepting sweeps,
+// finishes the accepted ones (up to -drain-timeout), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"latsim/internal/sweepd"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "address to serve the API on (port 0 picks a free port)")
+		jobs         = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir     = flag.String("cache-dir", "", "persistent result cache directory (empty disables)")
+		cacheMax     = flag.Int64("cache-max-bytes", 0, "cap the cache's on-disk size, evicting least-recently-used results (0 = unbounded)")
+		timeout      = flag.Duration("timeout", 0, "per-attempt wall-clock limit per job (0 = none)")
+		retries      = flag.Int("retries", 2, "re-run a failed job attempt up to this many times")
+		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "base backoff before a retry (doubles per attempt, jittered)")
+		spanRate     = flag.Float64("span-rate", 0, "span-tracing sample rate for obs sweeps (0 = default 1/64)")
+		chaos        = flag.Int("chaos", 0, "TESTING: panic the first N job executions to exercise retry")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long a shutdown signal waits for accepted sweeps")
+		drainGrace   = flag.Duration("drain-grace", 30*time.Second, "after draining, keep serving until every finished sweep's result has been fetched (at most this long)")
+		verbose      = flag.Bool("v", false, "stream engine progress to stderr")
+	)
+	flag.Parse()
+	if err := run(*listen, sweepd.Options{
+		Workers:       *jobs,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		RetryBackoff:  *retryBackoff,
+		ObsSpanRate:   *spanRate,
+		ChaosFailures: *chaos,
+	}, *verbose, *drainTimeout, *drainGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, opts sweepd.Options, verbose bool, drainTimeout, drainGrace time.Duration) error {
+	if verbose {
+		opts.Trace = os.Stderr
+	}
+	svc, err := sweepd.New(opts)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stderr so scripts using port 0 can
+	// discover it.
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-done:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (timeout %v)\n", got, drainTimeout)
+	}
+
+	// Graceful drain: no new sweeps, accepted ones finish. The API keeps
+	// serving while draining so clients can collect results; a second
+	// signal aborts immediately.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "sweepd: second signal, aborting")
+		cancel()
+	}()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	} else if drainGrace > 0 {
+		// Drained clean: linger so clients can still collect results the
+		// service rendered on their behalf before they polled.
+		graceCtx, cancelGrace := context.WithTimeout(context.Background(), drainGrace)
+		if err := svc.WaitCollected(graceCtx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		cancelGrace()
+	}
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+	}
+	<-done
+	return nil
+}

@@ -15,6 +15,7 @@ var DefaultNilsafeTypes = []string{
 	"latsim/internal/obs/span.Tracer",
 	"latsim/internal/obs/span.Span",
 	"latsim/internal/check.Checker",
+	"latsim/internal/runner.Hooks",
 }
 
 // NewNilsafe returns the nilsafe analyzer for the given fully qualified

@@ -11,12 +11,17 @@ import (
 // deterministic: every run with the same seed must produce the same
 // event order and the same output bytes. Host-side packages
 // (internal/runner, cmd/*) may use wall-clock time and are not listed.
+// sweepd/api is listed even though it is host-side: the wire types
+// must serialize identically for identical sweeps (clients diff result
+// documents byte-for-byte), so no map ranges or clock reads belong
+// there.
 var DefaultSimdetPackages = []string{
 	"latsim/internal/sim",
 	"latsim/internal/memsys",
 	"latsim/internal/cpu",
 	"latsim/internal/msync",
 	"latsim/internal/check",
+	"latsim/internal/sweepd/api",
 }
 
 // UnorderedMarker is the justification comment that suppresses the map

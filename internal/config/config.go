@@ -4,6 +4,7 @@
 package config
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"strings"
@@ -55,6 +56,49 @@ func (c Consistency) String() string {
 // Buffered reports whether the model lets the processor continue past
 // ordinary writes (everything except SC).
 func (c Consistency) Buffered() bool { return c != SC }
+
+// ParseConsistency converts a model name ("SC", "PC", "WC", "RC",
+// case-insensitive) to the enumeration.
+func ParseConsistency(s string) (Consistency, error) {
+	switch strings.ToUpper(s) {
+	case "SC":
+		return SC, nil
+	case "PC":
+		return PC, nil
+	case "WC":
+		return WC, nil
+	case "RC":
+		return RC, nil
+	}
+	return 0, fmt.Errorf("config: unknown consistency model %q (valid: SC, PC, WC, RC)", s)
+}
+
+// UnmarshalJSON accepts either the integer encoding (what Marshal
+// emits, and what the runner's cache entries contain) or a model name
+// string, so untrusted API documents can say "Model": "RC".
+func (c *Consistency) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := ParseConsistency(s)
+		if err != nil {
+			return err
+		}
+		*c = v
+		return nil
+	}
+	var v int
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	if v < int(SC) || v > int(RC) {
+		return fmt.Errorf("config: Consistency(%d) out of range", v)
+	}
+	*c = Consistency(v)
+	return nil
+}
 
 // Config describes one simulated machine + technique combination.
 type Config struct {

@@ -1,0 +1,37 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Overlay decodes a partial, untrusted JSON configuration — a sweep-
+// service API client typically supplies only the fields it cares about
+// — over base, and validates the result. Unknown fields are rejected
+// (a typo like "Procss" must not silently fall back to the default),
+// and so is trailing garbage after the object. Fields the document
+// omits keep base's values; fields it spells out are taken literally,
+// so an explicit zero (say SwitchPenalty) stays zero.
+//
+// The returned configuration is canonical with respect to defaulting:
+// a request that spells a default out and one that omits it produce
+// identical structs, and therefore identical job hashes — exactly what
+// the sweep service's cross-client dedup needs.
+func Overlay(base Config, raw []byte) (Config, error) {
+	c := base
+	if len(raw) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&c); err != nil {
+			return Config{}, fmt.Errorf("config: overlay: %w", err)
+		}
+		if dec.More() {
+			return Config{}, fmt.Errorf("config: overlay: trailing data after configuration object")
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -94,6 +94,19 @@ type Session struct {
 	// invariant fails instead of returning a result. Checked jobs hash
 	// — and therefore cache — separately from plain runs.
 	Check bool
+	// CacheMaxBytes bounds the persistent result cache; past it the
+	// least-recently-used entries are evicted (0 = unbounded). Only
+	// meaningful with CacheDir.
+	CacheMaxBytes int64
+	// Engine, when non-nil, is an externally owned job engine the
+	// session submits to instead of building its own. Front ends that
+	// serve many sessions (the sweep service) share one engine so
+	// identical jobs dedup across sessions — and across clients. The
+	// session never closes a shared engine; its owner does. Jobs,
+	// CacheDir, CacheMaxBytes, Timeout and Trace are ignored when
+	// Engine is set (they configure the engine the session would have
+	// built).
+	Engine *runner.Runner
 
 	mu  sync.Mutex
 	eng *runner.Runner
@@ -143,17 +156,22 @@ func newApp(name string, scale Scale, prefetch bool, seed int64) (machine.App, e
 	return nil, fmt.Errorf("core: unknown app %q (valid: %s)", name, strings.Join(AppNames, ", "))
 }
 
-// engine lazily builds the job engine from the session's knobs.
+// engine returns the shared engine when one was injected, else lazily
+// builds the session's own from its knobs.
 func (s *Session) engine() (*runner.Runner, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.Engine != nil {
+		return s.Engine, nil
+	}
 	if s.eng == nil {
 		eng, err := runner.New(runner.Options{
-			Workers:  s.Jobs,
-			CacheDir: s.CacheDir,
-			Timeout:  s.Timeout,
-			Trace:    s.Trace,
-		}, execJob)
+			Workers:       s.Jobs,
+			CacheDir:      s.CacheDir,
+			CacheMaxBytes: s.CacheMaxBytes,
+			Timeout:       s.Timeout,
+			Trace:         s.Trace,
+		}, Exec)
 		if err != nil {
 			return nil, err
 		}
@@ -162,8 +180,10 @@ func (s *Session) engine() (*runner.Runner, error) {
 	return s.eng, nil
 }
 
-// execJob is the runner's ExecFunc: one fresh machine per job.
-func execJob(ctx context.Context, j runner.Job) (*machine.Result, error) {
+// Exec is the session's ExecFunc — one fresh machine per job — exported
+// so front ends that own a shared engine (the sweep service) build it on
+// exactly the execution semantics every session uses.
+func Exec(ctx context.Context, j runner.Job) (*machine.Result, error) {
 	scale, err := ParseScale(j.Scale)
 	if err != nil {
 		return nil, err
@@ -252,10 +272,14 @@ func (s *Session) warm(cfgs ...config.Config) error {
 	return err
 }
 
-// Metrics snapshots the job engine's progress counters.
+// Metrics snapshots the job engine's progress counters. With a shared
+// engine the counters cover every session on it.
 func (s *Session) Metrics() runner.Metrics {
 	s.mu.Lock()
 	eng := s.eng
+	if s.Engine != nil {
+		eng = s.Engine
+	}
 	s.mu.Unlock()
 	if eng == nil {
 		return runner.Metrics{}
@@ -264,6 +288,7 @@ func (s *Session) Metrics() runner.Metrics {
 }
 
 // Close rejects further submissions; in-flight jobs finish normally.
+// A shared Engine is left running — its owner closes it.
 func (s *Session) Close() {
 	s.mu.Lock()
 	eng := s.eng
@@ -351,12 +376,8 @@ func (s *Session) Figure2() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
 	}
-	{
-		nocache := Base()
-		nocache.CacheShared = false
-		if err := s.warm(nocache, Base()); err != nil {
-			return nil, err
-		}
+	if err := s.warm(fig2Configs()...); err != nil {
+		return nil, err
 	}
 	for _, app := range AppNames {
 		nocache := Base()
@@ -388,12 +409,8 @@ func (s *Session) Figure3() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
 	}
-	{
-		rcCfg := Base()
-		rcCfg.Model = config.RC
-		if err := s.warm(Base(), rcCfg); err != nil {
-			return nil, err
-		}
+	if err := s.warm(fig3Configs()...); err != nil {
+		return nil, err
 	}
 	for _, app := range AppNames {
 		sc, err := s.Run(app, Base())
@@ -425,19 +442,8 @@ func (s *Session) Figure4() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
 	}
-	{
-		var cfgs []config.Config
-		for _, mdl := range []config.Consistency{config.SC, config.RC} {
-			for _, pf := range []bool{false, true} {
-				cfg := Base()
-				cfg.Model = mdl
-				cfg.Prefetch = pf
-				cfgs = append(cfgs, cfg)
-			}
-		}
-		if err := s.warm(cfgs...); err != nil {
-			return nil, err
-		}
+	if err := s.warm(fig4Configs()...); err != nil {
+		return nil, err
 	}
 	for _, app := range AppNames {
 		var bars []Bar
@@ -478,19 +484,8 @@ func (s *Session) Figure5() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: mcLegend,
 	}
-	{
-		cfgs := []config.Config{Base()}
-		for _, pen := range []int{16, 4} {
-			for _, ctxs := range []int{2, 4} {
-				cfg := Base()
-				cfg.Contexts = ctxs
-				cfg.SwitchPenalty = pen
-				cfgs = append(cfgs, cfg)
-			}
-		}
-		if err := s.warm(cfgs...); err != nil {
-			return nil, err
-		}
+	if err := s.warm(fig5Configs()...); err != nil {
+		return nil, err
 	}
 	for _, app := range AppNames {
 		single, err := s.Run(app, Base())
@@ -527,31 +522,9 @@ func (s *Session) Figure6() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: mcLegend,
 	}
-	type group struct {
-		mdl config.Consistency
-		pf  bool
-		tag string
-	}
-	groups := []group{
-		{config.SC, false, "SC"},
-		{config.RC, false, "RC"},
-		{config.RC, true, "RC+pf"},
-	}
-	{
-		var cfgs []config.Config
-		for _, g := range groups {
-			for _, ctxs := range []int{1, 2, 4} {
-				cfg := Base()
-				cfg.Model = g.mdl
-				cfg.Prefetch = g.pf
-				cfg.Contexts = ctxs
-				cfg.SwitchPenalty = 4
-				cfgs = append(cfgs, cfg)
-			}
-		}
-		if err := s.warm(cfgs...); err != nil {
-			return nil, err
-		}
+	groups := fig6Groups()
+	if err := s.warm(fig6Configs()...); err != nil {
+		return nil, err
 	}
 	for _, app := range AppNames {
 		var bars []Bar
@@ -654,19 +627,8 @@ type SpeedupRow struct {
 // the uncached sequentially consistent baseline, and the best overall
 // (the paper reports 4x to 7x).
 func (s *Session) Summary() ([]SpeedupRow, error) {
-	{
-		nocache := Base()
-		nocache.CacheShared = false
-		rcCfg := Base()
-		rcCfg.Model = config.RC
-		pfCfg := rcCfg
-		pfCfg.Prefetch = true
-		mcCfg := rcCfg
-		mcCfg.Contexts = 4
-		mcCfg.SwitchPenalty = 4
-		if err := s.warm(nocache, Base(), rcCfg, pfCfg, mcCfg); err != nil {
-			return nil, err
-		}
+	if err := s.warm(summaryConfigs()...); err != nil {
+		return nil, err
 	}
 	var rows []SpeedupRow
 	for _, app := range AppNames {

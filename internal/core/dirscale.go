@@ -60,15 +60,9 @@ func (s *Session) DirScaleSweep() ([]DirScalePoint, error) {
 		return cfg
 	}
 	{
-		var cfgs []config.Config
-		for _, procs := range DirScaleProcs {
-			for _, org := range dirScaleOrgs() {
-				cfgs = append(cfgs, cfgFor(org, procs))
-			}
-		}
-		reqs := make([]Request, 0, len(cfgs))
-		for _, cfg := range cfgs {
-			reqs = append(reqs, Request{App: "LU", Cfg: cfg})
+		reqs, err := s.ExperimentRequests("dirscale")
+		if err != nil {
+			return nil, err
 		}
 		if _, err := s.RunBatch(reqs); err != nil {
 			return nil, err

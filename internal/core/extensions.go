@@ -25,16 +25,8 @@ func (s *Session) ConsistencySpectrum() (*Figure, error) {
 		Bars:   map[string][]Bar{},
 		Legend: singleCtxLegend,
 	}
-	{
-		var cfgs []config.Config
-		for _, mdl := range []config.Consistency{config.SC, config.PC, config.WC, config.RC} {
-			cfg := Base()
-			cfg.Model = mdl
-			cfgs = append(cfgs, cfg)
-		}
-		if err := s.warm(cfgs...); err != nil {
-			return nil, err
-		}
+	if err := s.warm(spectrumConfigs()...); err != nil {
+		return nil, err
 	}
 	for _, app := range AppNames {
 		var bars []Bar
@@ -88,16 +80,8 @@ type ScalingPoint struct {
 // where each application's parallelism runs out, e.g. PTHOR's limited
 // concurrency).
 func (s *Session) ScalingSweep() ([]ScalingPoint, error) {
-	{
-		var cfgs []config.Config
-		for _, procs := range []int{4, 8, 16, 32} {
-			cfg := Base()
-			cfg.Procs = procs
-			cfgs = append(cfgs, cfg)
-		}
-		if err := s.warm(cfgs...); err != nil {
-			return nil, err
-		}
+	if err := s.warm(scalingConfigs()...); err != nil {
+		return nil, err
 	}
 	var out []ScalingPoint
 	for _, app := range AppNames {
@@ -150,14 +134,8 @@ type CoverageRow struct {
 
 // PrefetchCoverage measures coverage factors under RC.
 func (s *Session) PrefetchCoverage() ([]CoverageRow, error) {
-	{
-		cfg := Base()
-		cfg.Model = config.RC
-		pfCfg := cfg
-		pfCfg.Prefetch = true
-		if err := s.warm(cfg, pfCfg); err != nil {
-			return nil, err
-		}
+	if err := s.warm(coverageConfigs()...); err != nil {
+		return nil, err
 	}
 	paper := map[string]float64{"MP3D": 0.87, "LU": 0.89, "PTHOR": 0.56}
 	var rows []CoverageRow
@@ -242,17 +220,8 @@ type AnalyticPoint struct {
 // AnalyticContexts evaluates the model against simulation for 1, 2 and 4
 // contexts under SC with a 4-cycle switch.
 func (s *Session) AnalyticContexts() ([]AnalyticPoint, error) {
-	{
-		cfgs := []config.Config{Base()}
-		for _, ctxs := range []int{1, 2, 4} {
-			cfg := Base()
-			cfg.Contexts = ctxs
-			cfg.SwitchPenalty = 4
-			cfgs = append(cfgs, cfg)
-		}
-		if err := s.warm(cfgs...); err != nil {
-			return nil, err
-		}
+	if err := s.warm(analyticConfigs()...); err != nil {
+		return nil, err
 	}
 	var out []AnalyticPoint
 	for _, app := range AppNames {

@@ -23,6 +23,7 @@
 package dirset
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -69,6 +70,34 @@ func ParseOrg(s string) (Org, error) {
 	}
 	return 0, fmt.Errorf("dirset: unknown directory organization %q (valid: %s)",
 		s, strings.Join(OrgNames, ", "))
+}
+
+// UnmarshalJSON accepts either the integer encoding (what Marshal
+// emits, and what the runner's cache entries contain) or an
+// organization name string, so untrusted API documents can say
+// "DirOrg": "limited-pointer".
+func (o *Org) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := ParseOrg(s)
+		if err != nil {
+			return err
+		}
+		*o = v
+		return nil
+	}
+	var v int
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	if !Org(v).Valid() {
+		return fmt.Errorf("dirset: Org(%d) out of range (valid: %s)", v, strings.Join(OrgNames, ", "))
+	}
+	*o = Org(v)
+	return nil
 }
 
 // View is the read-only side of a sharer set: what the invariant checker

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file rolls many runs' Reports up into one per-sweep digest. The
+// sweep service records observability on every job of an obs-enabled
+// sweep and serves the aggregate over its API, so a client can see
+// where a whole sweep's simulated time went — execution-time buckets,
+// directory traffic, merged latency distributions, critical-path stall
+// attribution — without downloading every per-run report.
+
+// NamedTotal is one named counter summed over a sweep's runs.
+type NamedTotal struct {
+	Name  string `json:"name"`
+	Total uint64 `json:"total"`
+}
+
+// StallSegment is one segment kind's summed attribution within a stall
+// bucket.
+type StallSegment struct {
+	Kind       string `json:"kind"`
+	Attributed uint64 `json:"attributed"`
+}
+
+// StallTotal sums one stall bucket of the critical-path waterfall over
+// every run that carried one.
+type StallTotal struct {
+	Bucket      string         `json:"bucket"`
+	StallCycles uint64         `json:"stall_cycles"`
+	Segments    []StallSegment `json:"segments,omitempty"`
+}
+
+// SweepAggregate is the cross-run observability rollup. All fields are
+// integral sums (or merged histograms), so aggregation is exact,
+// order-independent and deterministic: aggregating the same reports in
+// any order produces identical JSON.
+type SweepAggregate struct {
+	// Runs counts the reports aggregated; the remaining fields sum over
+	// exactly these (jobs without observability contribute nothing).
+	Runs int `json:"runs"`
+	// Elapsed is the summed simulated length of the aggregated runs.
+	Elapsed uint64 `json:"elapsed"`
+	// BucketCycles sums each execution-time bucket's cycles; DirTxns
+	// each directory-transaction kind's count. Sorted by name.
+	BucketCycles []NamedTotal `json:"bucket_cycles,omitempty"`
+	DirTxns      []NamedTotal `json:"dir_txns,omitempty"`
+	// KernelEvents and Switches are machine-wide totals.
+	KernelEvents uint64 `json:"kernel_events"`
+	Switches     uint64 `json:"switches"`
+	// Hists merges each operation-latency histogram across runs, keyed
+	// by the per-run histogram name ("read_miss/local", ...). Sorted by
+	// name.
+	Hists []NamedHist `json:"hists,omitempty"`
+	// Stalls sums the critical-path waterfall's machine-wide bucket
+	// attributions over the runs that traced spans. Buckets and
+	// segments are sorted by name.
+	Stalls []StallTotal `json:"stalls,omitempty"`
+}
+
+// Merge folds other's observations into h. Count/Sum/Buckets add;
+// Min/Max widen to cover both. Merging an empty histogram is a no-op,
+// so zero-value accumulators work.
+func (h *Hist) Merge(other Hist) {
+	if other.Count == 0 {
+		return
+	}
+	if h.Count == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Aggregate rolls the reports up into one SweepAggregate. Nil reports
+// (jobs run without observability) are skipped; aggregating zero
+// reports returns an empty, non-nil aggregate.
+func Aggregate(reports []*Report) *SweepAggregate {
+	agg := &SweepAggregate{}
+	buckets := map[string]uint64{}
+	dir := map[string]uint64{}
+	hists := map[string]*Hist{}
+	stallCycles := map[string]uint64{}
+	stallSegs := map[string]map[string]uint64{}
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		agg.Runs++
+		agg.Elapsed += rep.Elapsed
+		for _, s := range rep.BucketCycles {
+			buckets[s.Name] += sumSeries(s.Values)
+		}
+		for _, s := range rep.DirTxns {
+			dir[s.Name] += sumSeries(s.Values)
+		}
+		agg.KernelEvents += sumSeries(rep.KernelEvents)
+		for _, v := range rep.Switches {
+			agg.Switches += uint64(v)
+		}
+		for _, nh := range rep.Hists {
+			h := hists[nh.Name]
+			if h == nil {
+				h = &Hist{}
+				hists[nh.Name] = h
+			}
+			h.Merge(nh.Hist)
+		}
+		if rep.Waterfall == nil {
+			continue
+		}
+		for _, b := range rep.Waterfall.Total {
+			stallCycles[b.Bucket] += b.StallCycles
+			segs := stallSegs[b.Bucket]
+			if segs == nil {
+				segs = map[string]uint64{}
+				stallSegs[b.Bucket] = segs
+			}
+			for _, s := range b.Segments {
+				segs[s.Kind] += s.Attributed
+			}
+		}
+	}
+	agg.BucketCycles = sortedTotals(buckets)
+	agg.DirTxns = sortedTotals(dir)
+	for _, name := range sortedKeys(hists) {
+		agg.Hists = append(agg.Hists, NamedHist{Name: name, Hist: *hists[name]})
+	}
+	for _, bucket := range sortedKeys(stallCycles) {
+		st := StallTotal{Bucket: bucket, StallCycles: stallCycles[bucket]}
+		segs := stallSegs[bucket]
+		for _, kind := range sortedKeys(segs) {
+			st.Segments = append(st.Segments, StallSegment{Kind: kind, Attributed: segs[kind]})
+		}
+		agg.Stalls = append(agg.Stalls, st)
+	}
+	return agg
+}
+
+// Summary prints the human-readable digest of the aggregate.
+func (agg *SweepAggregate) Summary(w io.Writer) {
+	fmt.Fprintf(w, "sweep observability: %d runs, %d simulated cycles\n", agg.Runs, agg.Elapsed)
+	if len(agg.Hists) > 0 {
+		fmt.Fprintf(w, "  %-20s %10s %10s %10s %10s %10s\n",
+			"operation", "count", "mean", "p50", "p90", "p99")
+		for i := range agg.Hists {
+			h := &agg.Hists[i].Hist
+			fmt.Fprintf(w, "  %-20s %10d %10.1f %10.0f %10.0f %10.0f\n",
+				agg.Hists[i].Name, h.Count, h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+		}
+	}
+	var dirTotal uint64
+	for _, t := range agg.DirTxns {
+		dirTotal += t.Total
+	}
+	fmt.Fprintf(w, "  directory txns: %d, kernel events: %d, context switches: %d\n",
+		dirTotal, agg.KernelEvents, agg.Switches)
+	for _, st := range agg.Stalls {
+		fmt.Fprintf(w, "  stalls/%-10s %12d ", st.Bucket, st.StallCycles)
+		for _, s := range st.Segments {
+			fmt.Fprintf(w, " %s=%d", s.Kind, s.Attributed)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func sumSeries(vs []uint64) uint64 {
+	var total uint64
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+func sortedTotals(m map[string]uint64) []NamedTotal {
+	out := make([]NamedTotal, 0, len(m))
+	for _, name := range sortedKeys(m) {
+		out = append(out, NamedTotal{Name: name, Total: m[name]})
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in ascending order (deterministic output
+// from map-backed accumulation).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"latsim/internal/obs/span"
+)
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for _, v := range []uint64{1, 2, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{0, 7} {
+		b.Observe(v)
+	}
+	var m Hist
+	m.Merge(a)
+	m.Merge(b)
+	var ref Hist
+	for _, v := range []uint64{1, 2, 100, 0, 7} {
+		ref.Observe(v)
+	}
+	if m != ref {
+		t.Fatalf("merged %+v != observed %+v", m, ref)
+	}
+	// Merging an empty histogram must not disturb Min.
+	m.Merge(Hist{})
+	if m != ref {
+		t.Fatalf("empty merge changed histogram: %+v", m)
+	}
+}
+
+func aggTestReport(elapsed uint64, hist string, v uint64) *Report {
+	rep := &Report{
+		Schema:  ReportSchema,
+		Elapsed: elapsed,
+		BucketCycles: []NamedSeries{
+			{Name: "busy", Values: []uint64{10, 20}},
+			{Name: "read", Values: []uint64{5}},
+		},
+		DirTxns:      []NamedSeries{{Name: "inval", Values: []uint64{3}}},
+		KernelEvents: []uint64{1, 2, 3},
+		Switches:     []uint32{4},
+		Waterfall: &span.Waterfall{Total: []span.BucketWaterfall{{
+			Bucket:      "read",
+			StallCycles: 50,
+			Segments:    []span.SegmentShare{{Kind: "net", Attributed: 30}, {Kind: "dir", Attributed: 20}},
+		}}},
+	}
+	var h Hist
+	h.Observe(v)
+	rep.Hists = []NamedHist{{Name: hist, Hist: h}}
+	return rep
+}
+
+func TestAggregate(t *testing.T) {
+	r1 := aggTestReport(100, "read_miss/local", 8)
+	r2 := aggTestReport(200, "read_miss/local", 16)
+	r3 := aggTestReport(50, "sync/remote", 4)
+	agg := Aggregate([]*Report{r1, nil, r2, r3})
+	if agg.Runs != 3 {
+		t.Fatalf("Runs = %d, want 3 (nil reports skipped)", agg.Runs)
+	}
+	if agg.Elapsed != 350 {
+		t.Fatalf("Elapsed = %d, want 350", agg.Elapsed)
+	}
+	if agg.KernelEvents != 18 || agg.Switches != 12 {
+		t.Fatalf("kernel/switches = %d/%d, want 18/12", agg.KernelEvents, agg.Switches)
+	}
+	want := []NamedTotal{{Name: "busy", Total: 90}, {Name: "read", Total: 15}}
+	if len(agg.BucketCycles) != 2 || agg.BucketCycles[0] != want[0] || agg.BucketCycles[1] != want[1] {
+		t.Fatalf("BucketCycles = %+v, want %+v", agg.BucketCycles, want)
+	}
+	if len(agg.Hists) != 2 || agg.Hists[0].Name != "read_miss/local" || agg.Hists[1].Name != "sync/remote" {
+		t.Fatalf("Hists = %+v, want read_miss/local then sync/remote", agg.Hists)
+	}
+	if c := agg.Hists[0].Hist.Count; c != 2 {
+		t.Fatalf("merged read_miss count = %d, want 2", c)
+	}
+	if len(agg.Stalls) != 1 || agg.Stalls[0].StallCycles != 150 {
+		t.Fatalf("Stalls = %+v, want one read bucket of 150", agg.Stalls)
+	}
+	segs := agg.Stalls[0].Segments
+	if len(segs) != 2 || segs[0] != (StallSegment{Kind: "dir", Attributed: 60}) ||
+		segs[1] != (StallSegment{Kind: "net", Attributed: 90}) {
+		t.Fatalf("stall segments = %+v", segs)
+	}
+}
+
+// Aggregation must be order-independent: any permutation of the same
+// reports serializes identically.
+func TestAggregateDeterministic(t *testing.T) {
+	r1 := aggTestReport(100, "read_miss/local", 8)
+	r2 := aggTestReport(200, "write_miss/remote", 32)
+	r3 := aggTestReport(50, "sync/local", 4)
+	a, err := json.Marshal(Aggregate([]*Report{r1, r2, r3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(Aggregate([]*Report{r3, r1, r2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("permuted aggregation differs:\n%s\n%s", a, b)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := Aggregate(nil)
+	if agg == nil || agg.Runs != 0 {
+		t.Fatalf("Aggregate(nil) = %+v, want empty non-nil aggregate", agg)
+	}
+}

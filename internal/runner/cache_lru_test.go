@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"latsim/internal/machine"
+)
+
+// storeN stores n distinct entries (testJob(0..n-1)) and returns their
+// keys in store order (oldest first).
+func storeN(t *testing.T, c *Cache, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		j := testJob(i)
+		keys[i] = j.Key()
+		if err := c.Store(keys[i], j, richResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// entrySize measures one serialized cache entry (entries for testJob
+// results are all the same shape).
+func entrySize(t *testing.T, dir string) int64 {
+	t.Helper()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeN(t, c, 1)
+	return c.Size()
+}
+
+func TestCacheLRUEvictsOldestOnStore(t *testing.T) {
+	one := entrySize(t, t.TempDir())
+	dir := t.TempDir()
+	c, err := OpenCacheLimited(dir, 3*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := storeN(t, c, 4)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after storing 4 under a 3-entry cap", c.Len())
+	}
+	if c.Size() > 3*one {
+		t.Fatalf("Size = %d exceeds cap %d", c.Size(), 3*one)
+	}
+	if _, ok := c.Load(keys[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := c.Load(k); !ok {
+			t.Fatalf("recent entry %s was evicted", k[:12])
+		}
+	}
+	if _, err := os.Stat(c.path(keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry still on disk (stat err %v)", err)
+	}
+}
+
+func TestCacheLRULoadRefreshesRecency(t *testing.T) {
+	one := entrySize(t, t.TempDir())
+	c, err := OpenCacheLimited(t.TempDir(), 2*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := storeN(t, c, 2)
+	// Touch the older entry, then overflow: the untouched one must go.
+	if _, ok := c.Load(keys[0]); !ok {
+		t.Fatal("warm load missed")
+	}
+	j := testJob(2)
+	if err := c.Store(j.Key(), j, richResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(keys[0]); !ok {
+		t.Fatal("recently loaded entry was evicted")
+	}
+	if _, ok := c.Load(keys[1]); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+}
+
+func TestCacheLRUTrimsExistingDirAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	one := entrySize(t, t.TempDir())
+	{
+		c, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := storeN(t, c, 4)
+		// Recency at reopen comes from mtimes; make the order unambiguous
+		// for filesystems with coarse timestamps.
+		for i, k := range keys {
+			mt := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+			if err := os.Chtimes(c.path(k), mt, mt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c, err := OpenCacheLimited(dir, 2*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Size() > 2*one {
+		t.Fatalf("after reopen: Len=%d Size=%d, want 2 entries within %d", c.Len(), c.Size(), 2*one)
+	}
+	// The survivors must be the two newest.
+	for i := 0; i < 4; i++ {
+		_, ok := c.Load(testJob(i).Key())
+		if want := i >= 2; ok != want {
+			t.Fatalf("entry %d present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestCacheOversizedSingleEntryStays(t *testing.T) {
+	c, err := OpenCacheLimited(t.TempDir(), 1) // absurd cap: smaller than any entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := storeN(t, c, 1)
+	if _, ok := c.Load(keys[0]); !ok {
+		t.Fatal("sole entry was evicted despite being the one just written")
+	}
+}
+
+func TestRunnerHonorsCacheMaxBytes(t *testing.T) {
+	one := entrySize(t, t.TempDir())
+	dir := t.TempDir()
+	var execs atomic.Int64
+	newRunner := func() *Runner {
+		r, err := New(Options{Workers: 2, CacheDir: dir, CacheMaxBytes: 2 * one},
+			func(_ context.Context, j Job) (*machine.Result, error) {
+				execs.Add(1)
+				return richResult(), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := newRunner()
+	for i := 0; i < 3; i++ {
+		if _, err := r.Run(context.Background(), testJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Cache().Len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (cap)", got)
+	}
+	// A fresh runner over the same directory: the surviving jobs load,
+	// the evicted one re-executes. (The survivors run first — job 0's
+	// re-execution stores a new entry, which itself evicts the then-LRU
+	// survivor.)
+	execs.Store(0)
+	r2 := newRunner()
+	for _, i := range []int{1, 2, 0} {
+		if _, err := r2.Run(context.Background(), testJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := r2.Metrics()
+	if m.CacheHits != 2 || execs.Load() != 1 {
+		t.Fatalf("reopen: hits=%d execs=%d, want 2 hits and 1 re-execution", m.CacheHits, execs.Load())
+	}
+}

@@ -1,0 +1,309 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"latsim/internal/machine"
+)
+
+// flakyExec fails the first n executions of every job, then succeeds —
+// the fault-injection shape the sweep service's chaos mode uses.
+func flakyExec(n int64) (ExecFunc, *atomic.Int64) {
+	var execs atomic.Int64
+	return func(_ context.Context, j Job) (*machine.Result, error) {
+		if execs.Add(1) <= n {
+			return nil, errors.New("injected fault")
+		}
+		return fakeResult(j), nil
+	}, &execs
+}
+
+func TestRetrySucceedsAfterInjectedFailures(t *testing.T) {
+	exec, execs := flakyExec(2)
+	r, err := New(Options{Workers: 1, Retries: 3, RetryBackoff: time.Millisecond}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := r.Submit(context.Background(), testJob(0))
+	res, err := task.Wait()
+	if err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	if res == nil || execs.Load() != 3 {
+		t.Fatalf("executed %d times, want 3 (2 failures + success)", execs.Load())
+	}
+	ledger := task.Attempts()
+	if len(ledger) != 2 {
+		t.Fatalf("error ledger %+v, want 2 failed attempts", ledger)
+	}
+	for i, a := range ledger {
+		if a.N != i+1 || !strings.Contains(a.Err, "injected fault") {
+			t.Fatalf("ledger entry %d = %+v", i, a)
+		}
+	}
+	m := r.Metrics()
+	if m.Retried != 2 || m.Executed != 1 || m.Failed != 0 {
+		t.Fatalf("metrics %+v, want 2 retried, 1 executed, 0 failed", m)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	exec, execs := flakyExec(1 << 30)
+	r, err := New(Options{Workers: 1, Retries: 2}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := r.Submit(context.Background(), testJob(0))
+	if _, err := task.Wait(); err == nil {
+		t.Fatal("always-failing job reported success")
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("executed %d times, want 3 (1 + 2 retries)", execs.Load())
+	}
+	if ledger := task.Attempts(); len(ledger) != 3 {
+		t.Fatalf("error ledger %+v, want 3 entries", ledger)
+	}
+	m := r.Metrics()
+	if m.Retried != 2 || m.Failed != 1 {
+		t.Fatalf("metrics %+v, want 2 retried, 1 failed", m)
+	}
+}
+
+func TestRetryAfterPanic(t *testing.T) {
+	var execs atomic.Int64
+	r, err := New(Options{Workers: 1, Retries: 1}, func(_ context.Context, j Job) (*machine.Result, error) {
+		if execs.Add(1) == 1 {
+			panic("transient corruption")
+		}
+		return fakeResult(j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := r.Submit(context.Background(), testJob(0))
+	if _, err := task.Wait(); err != nil {
+		t.Fatalf("panic was not retried: %v", err)
+	}
+	ledger := task.Attempts()
+	if len(ledger) != 1 || !strings.Contains(ledger[0].Err, "panicked") {
+		t.Fatalf("ledger %+v, want one panic entry", ledger)
+	}
+}
+
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	var execs atomic.Int64
+	r, err := New(Options{Workers: 1, Retries: 1, Timeout: 20 * time.Millisecond},
+		func(ctx context.Context, j Job) (*machine.Result, error) {
+			if execs.Add(1) == 1 {
+				<-ctx.Done() // hang until the per-attempt timeout fires
+				return nil, ctx.Err()
+			}
+			return fakeResult(j), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), testJob(0)); err != nil {
+		t.Fatalf("timed-out attempt was not retried: %v", err)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("executed %d times, want 2", execs.Load())
+	}
+}
+
+// A submitter-canceled context must stop the retry loop immediately —
+// both mid-backoff and before the next attempt — and must surface the
+// cancellation, not the attempt error.
+func TestRetryCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	var execs atomic.Int64
+	r, err := New(Options{Workers: 1, Retries: 5, RetryBackoff: time.Hour},
+		func(context.Context, Job) (*machine.Result, error) {
+			execs.Add(1)
+			once.Do(func() { close(started) })
+			return nil, errors.New("injected fault")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := r.Submit(ctx, testJob(0))
+	<-started
+	cancel()
+	_, werr := task.Wait()
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("Wait() = %v, want context.Canceled", werr)
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("executed %d times after cancel, want 1", execs.Load())
+	}
+}
+
+func TestRetryCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exec, execs := flakyExec(0)
+	r, err := New(Options{Workers: 1, Retries: 3}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, testJob(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("executed %d times under a dead context, want 0", execs.Load())
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	r, err := New(Options{
+		Retries:         8,
+		RetryBackoff:    10 * time.Millisecond,
+		RetryMaxBackoff: 80 * time.Millisecond,
+	}, func(_ context.Context, j Job) (*machine.Result, error) { return fakeResult(j), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testJob(0).Key()
+	prevStep := time.Duration(0)
+	for n := 1; n <= 8; n++ {
+		a, b := r.backoff(key, n), r.backoff(key, n)
+		if a != b {
+			t.Fatalf("backoff(%d) not deterministic: %v vs %v", n, a, b)
+		}
+		// step + jitter, jitter <= step/2, step capped at the max.
+		if a > 80*time.Millisecond+40*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v exceeds cap+jitter", n, a)
+		}
+		if a < prevStep { // monotone until the cap flattens the step
+			step := 10 * time.Millisecond << (n - 1)
+			if step < 80*time.Millisecond {
+				t.Fatalf("backoff(%d) = %v shrank below previous step %v", n, a, prevStep)
+			}
+		}
+		prevStep = a
+	}
+	if r.backoff(key, 1) == r.backoff(key, 2) {
+		t.Fatal("jitter identical across attempts (suspicious hash)")
+	}
+}
+
+func TestHooksObserveLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var events []string
+	hooks := &Hooks{
+		OnQueued: func(key string, _ Job) {
+			mu.Lock()
+			events = append(events, "queued")
+			mu.Unlock()
+		},
+		OnAttemptStart: func(_ string, _ Job, n int) {
+			mu.Lock()
+			events = append(events, "start")
+			mu.Unlock()
+		},
+		OnAttemptDone: func(_ string, _ Job, n int, err error) {
+			mu.Lock()
+			if err != nil {
+				events = append(events, "fail")
+			} else {
+				events = append(events, "ok")
+			}
+			mu.Unlock()
+		},
+		OnFinish: func(_ string, _ Job, err error, hit bool) {
+			mu.Lock()
+			events = append(events, "finish")
+			mu.Unlock()
+		},
+	}
+	exec, _ := flakyExec(1)
+	r, err := New(Options{Workers: 1, Retries: 1, Hooks: hooks}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), testJob(0)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := strings.Join(events, " ")
+	mu.Unlock()
+	if got != "queued start fail start ok finish" {
+		t.Fatalf("hook sequence = %q", got)
+	}
+}
+
+// A nil Hooks receiver must be safe on every dispatch method (the
+// nilsafe analyzer enforces the guards; this exercises them).
+func TestNilHooksSafe(t *testing.T) {
+	var h *Hooks
+	h.Queued("k", Job{})
+	h.AttemptStart("k", Job{}, 1)
+	h.AttemptDone("k", Job{}, 1, nil)
+	h.Finish("k", Job{}, nil, false)
+}
+
+func TestForget(t *testing.T) {
+	exec, execs := flakyExec(1)
+	r, err := New(Options{Workers: 1}, exec) // no retries: first run fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(0)
+	if _, err := r.Run(context.Background(), j); err == nil {
+		t.Fatal("first run should have failed")
+	}
+	// Resubmission dedups onto the failed task...
+	if _, err := r.Run(context.Background(), j); err == nil {
+		t.Fatal("memoized failure should still fail")
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("executed %d times before Forget, want 1", execs.Load())
+	}
+	// ...until Forget drops it; then a fresh submission re-executes.
+	if !r.Forget(j.Key()) {
+		t.Fatal("Forget returned false for a finished task")
+	}
+	if r.Forget(j.Key()) {
+		t.Fatal("second Forget of the same key returned true")
+	}
+	if _, err := r.Run(context.Background(), j); err != nil {
+		t.Fatalf("rerun after Forget failed: %v", err)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("executed %d times after Forget, want 2", execs.Load())
+	}
+}
+
+func TestForgetInFlightRefused(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	r, err := New(Options{Workers: 1}, func(_ context.Context, j Job) (*machine.Result, error) {
+		close(started)
+		<-release
+		return fakeResult(j), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(0)
+	task := r.Submit(context.Background(), j)
+	<-started
+	if r.Forget(j.Key()) {
+		t.Fatal("Forget dropped a running task")
+	}
+	close(release)
+	if _, err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Forget(j.Key()) {
+		t.Fatal("Forget refused a finished task")
+	}
+}

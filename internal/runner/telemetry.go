@@ -3,9 +3,11 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -20,8 +22,13 @@ import (
 type Telemetry struct {
 	ln   net.Listener
 	srv  *http.Server
-	src  func() Metrics
 	tick time.Duration // /progress sampling period (tests shorten it)
+
+	// mu serializes snapshots against Close: src calls run under the
+	// read lock, and Close detaches src under the write lock, so once
+	// Close returns no handler can observe a torn-down metrics source.
+	mu  sync.RWMutex
+	src func() Metrics // nil after Close
 }
 
 // ServeTelemetry starts the telemetry server on addr (host:port; an
@@ -54,14 +61,48 @@ func serveTelemetry(addr string, src func() Metrics, tick time.Duration) (*Telem
 // Addr returns the bound listen address (useful with port 0).
 func (t *Telemetry) Addr() string { return t.ln.Addr().String() }
 
-// Close shuts the server down, dropping open /progress streams.
-func (t *Telemetry) Close() error { return t.srv.Close() }
+// Close shuts the server down in scrape-safe order: first the listener
+// and every open connection (dropping /progress streams), then the
+// metrics source is detached, so a caller that tears down the Runner
+// right after Close cannot be scraped mid-teardown. Returns the
+// listener's close error rather than swallowing it.
+func (t *Telemetry) Close() error {
+	// srv.Close closes the listener first and then active connections;
+	// its return value is exactly the listener's Close error.
+	err := t.srv.Close()
+	t.mu.Lock()
+	t.src = nil
+	t.mu.Unlock()
+	return err
+}
 
-// handleMetrics writes the Prometheus text exposition format (version
-// 0.0.4): gauges for the in-flight queue state, counters for totals.
+// snapshot takes a metrics snapshot, or reports false once Close has
+// detached the source.
+func (t *Telemetry) snapshot() (Metrics, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.src == nil {
+		return Metrics{}, false
+	}
+	return t.src(), true
+}
+
+// handleMetrics writes the Prometheus text exposition of the counters.
 func (t *Telemetry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	m := t.src()
+	m, ok := t.snapshot()
+	if !ok {
+		http.Error(w, "telemetry closed", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, m)
+}
+
+// WritePrometheus renders a Metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): gauges for the in-flight queue
+// state, counters for totals. Shared by the telemetry server and the
+// sweep service's /metrics endpoint.
+func WritePrometheus(w io.Writer, m Metrics) {
 	put := func(name, kind, help string, v any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, v)
 	}
@@ -73,6 +114,7 @@ func (t *Telemetry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("latsim_jobs_executed_total", "counter", "Jobs simulated to completion.", m.Executed)
 	put("latsim_jobs_cache_hits_total", "counter", "Jobs satisfied from the persistent cache.", m.CacheHits)
 	put("latsim_jobs_cache_misses_total", "counter", "Persistent-cache probes that found no entry.", m.CacheMisses)
+	put("latsim_jobs_retried_total", "counter", "Failed execution attempts that were re-run.", m.Retried)
 	put("latsim_jobs_failed_total", "counter", "Jobs that errored, panicked or timed out.", m.Failed)
 	put("latsim_sim_cycles_total", "counter", "Simulated cycles over executed jobs.", m.SimCycles)
 	put("latsim_sim_events_total", "counter", "Discrete events fired over executed jobs.", m.SimEvents)
@@ -89,7 +131,11 @@ func (t *Telemetry) handleProgress(w http.ResponseWriter, r *http.Request) {
 	ticker := time.NewTicker(t.tick)
 	defer ticker.Stop()
 	for {
-		if err := enc.Encode(t.src()); err != nil {
+		m, ok := t.snapshot()
+		if !ok {
+			return
+		}
+		if err := enc.Encode(m); err != nil {
 			return
 		}
 		if flusher != nil {

@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Close must stop accepting scrapes BEFORE detaching the metrics
+// source: once Close returns, the source function is never called
+// again, so the owner may tear the Runner down immediately.
+func TestTelemetryCloseDetachesSource(t *testing.T) {
+	var torndown atomic.Bool
+	tel, err := serveTelemetry("127.0.0.1:0", func() Metrics {
+		if torndown.Load() {
+			t.Error("metrics source called after Close returned")
+		}
+		return Metrics{}
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tel.Addr()
+
+	// Hammer /metrics and /progress from several goroutines while Close
+	// races them; under -race this catches scrape-after-teardown.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + "/metrics")
+				if err != nil {
+					return // listener closed
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := tel.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	torndown.Store(true)
+	close(stop)
+	wg.Wait()
+
+	// Close is idempotent.
+	if err := tel.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The port no longer accepts scrapes.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Close")
+	}
+}

@@ -1,0 +1,199 @@
+// Package api holds the sweep service's wire types: the sweep
+// submission document clients POST and the status/stats documents the
+// service returns. It is a leaf package — the CLI client, tests and the
+// service share these structs without dragging the scheduler in — and
+// it is listed in the simdet analyzer's packages: everything here must
+// stay deterministic (no wall clock, no global rand, no map ranges), so
+// identical sweep documents always serialize identically.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// SweepSpec is the body of POST /v1/sweeps: either a named experiment
+// (every cmd/figures id, plus "twin-sweep") or an explicit job list.
+type SweepSpec struct {
+	// Name is an optional client label echoed in statuses.
+	Name string `json:"name,omitempty"`
+	// Priority orders sweeps in the scheduler: higher runs sooner;
+	// equal priorities run in submission order (FIFO).
+	Priority int `json:"priority,omitempty"`
+	// Experiment names a canned experiment. Its rendered result is
+	// byte-identical to the cmd/figures output for the same id.
+	// Mutually exclusive with Jobs.
+	Experiment string `json:"experiment,omitempty"`
+	// Scale selects the data-set scale ("small" when empty, "paper").
+	Scale string `json:"scale,omitempty"`
+	// Seed overrides the benchmarks' workload seeds (0 = paper seeds).
+	Seed int64 `json:"seed,omitempty"`
+	// Obs records observability data on every job; the sweep's merged
+	// report is served at /v1/sweeps/{id}/report.
+	Obs bool `json:"obs,omitempty"`
+	// Check runs every job under the runtime coherence invariant
+	// checker.
+	Check bool `json:"check,omitempty"`
+	// Jobs is an explicit (application, configuration) list. Mutually
+	// exclusive with Experiment.
+	Jobs []JobSpec `json:"jobs,omitempty"`
+}
+
+// JobSpec is one explicit simulation request.
+type JobSpec struct {
+	// App is the benchmark name (MP3D, LU, PTHOR).
+	App string `json:"app"`
+	// Config is a partial machine configuration overlaid on the
+	// defaults (config.Overlay): omitted fields keep their defaults,
+	// unknown fields are rejected, and enum fields accept names
+	// ("Model": "RC", "DirOrg": "limited-pointer").
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// ParseSpec strictly decodes a sweep submission: unknown fields and
+// trailing data are errors (a mistyped field must not silently become a
+// default), and the structural invariants are checked here so every
+// front end rejects the same garbage the same way. Configuration
+// contents are validated later, against config.Overlay.
+func ParseSpec(raw []byte) (*SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var spec SweepSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("sweep spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep spec: trailing data after document")
+	}
+	if spec.Experiment == "" && len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("sweep spec: need an experiment name or a job list")
+	}
+	if spec.Experiment != "" && len(spec.Jobs) > 0 {
+		return nil, fmt.Errorf("sweep spec: experiment and jobs are mutually exclusive")
+	}
+	for i, j := range spec.Jobs {
+		if j.App == "" {
+			return nil, fmt.Errorf("sweep spec: job %d: missing app", i)
+		}
+	}
+	return &spec, nil
+}
+
+// Sweep states. A sweep is terminal in StateDone, StateFailed and
+// StateCanceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job states within a sweep.
+const (
+	JobPending = "pending"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+	JobSkipped = "skipped" // sweep canceled before the job dispatched
+)
+
+// Attempt is one failed execution attempt of a job (mirrors the
+// runner's error ledger).
+type Attempt struct {
+	N   int    `json:"n"`
+	Err string `json:"err"`
+}
+
+// JobStatus is one job's progress within a sweep.
+type JobStatus struct {
+	// Key is the job's content hash — identical submissions, in this
+	// sweep or any other, share it (and share one execution).
+	Key    string `json:"key"`
+	App    string `json:"app"`
+	Config string `json:"config"` // configuration display name
+	State  string `json:"state"`
+	// FromCache reports a persistent-cache hit (valid once done).
+	FromCache bool `json:"from_cache,omitempty"`
+	// ElapsedCycles is the simulated run length (valid once done).
+	ElapsedCycles uint64 `json:"elapsed_cycles,omitempty"`
+	// Attempts lists failed execution attempts that were retried.
+	Attempts []Attempt `json:"attempts,omitempty"`
+	// Error is the job's final error (failed jobs only).
+	Error string `json:"error,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} document.
+type SweepStatus struct {
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	State      string `json:"state"`
+	Priority   int    `json:"priority,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+	Scale      string `json:"scale"`
+	// Created/Started/Finished are RFC 3339 timestamps ("" if the
+	// phase has not been reached).
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// Error is the sweep-level failure reason (failed sweeps only).
+	Error string `json:"error,omitempty"`
+	// Jobs has one entry per tracked job, in scheduling order.
+	Jobs []JobStatus `json:"jobs"`
+	// Done counts terminal jobs; Total is len(Jobs). A render-only
+	// sweep (an experiment whose jobs are not known ahead of render
+	// time) has Total == 0 and is finished when State says so.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// SweepSummary is one row of the GET /v1/sweeps listing.
+type SweepSummary struct {
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	State      string `json:"state"`
+	Priority   int    `json:"priority,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+	Done       int    `json:"done"`
+	Total      int    `json:"total"`
+	Created    string `json:"created"`
+}
+
+// SweepList is the GET /v1/sweeps document.
+type SweepList struct {
+	Sweeps []SweepSummary `json:"sweeps"`
+}
+
+// Created is the POST /v1/sweeps response.
+type Created struct {
+	ID string `json:"id"`
+}
+
+// Stats is the GET /v1/stats document: the engine's counters plus the
+// service's sweep and scheduler state.
+type Stats struct {
+	// Engine counters (cumulative since the service started).
+	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
+	Executed  uint64 `json:"executed"`
+	CacheHits uint64 `json:"cache_hits"`
+	Retried   uint64 `json:"retried"`
+	Failed    uint64 `json:"failed"`
+	// Cache state (0 when the persistent cache is disabled).
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	// Scheduler state.
+	QueuedJobs   int `json:"queued_jobs"`
+	InflightJobs int `json:"inflight_jobs"`
+	// Sweep counts by state.
+	Sweeps map[string]int `json:"sweeps"`
+	// Draining reports that the service has stopped accepting sweeps
+	// and is waiting for the accepted ones to finish.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,92 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// handleDashboard serves the live dashboard: a single static page that
+// polls /v1/stats, /v1/sweeps and /dashboard/events. No assets, no
+// external scripts — it must work from the binary alone.
+func (s *Service) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}
+
+// handleEvents serves the recent scheduler events, newest first.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Events []string `json:"events"`
+	}{Events: s.events.Recent()})
+}
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>sweepd</title>
+<style>
+  body { font: 14px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 2rem; background: #101418; color: #d6dde4; }
+  h1 { font-size: 18px; } h2 { font-size: 15px; margin-top: 1.5rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 2px 12px 2px 0; white-space: nowrap; }
+  th { color: #8b98a5; font-weight: normal; border-bottom: 1px solid #2a333c; }
+  .grid { display: flex; gap: 2.5rem; flex-wrap: wrap; }
+  .stat b { display: block; font-size: 20px; }
+  .state-done { color: #7ee787; } .state-failed, .state-canceled { color: #ff7b72; }
+  .state-running { color: #79c0ff; } .state-queued { color: #8b98a5; }
+  .bar { background: #2a333c; height: 6px; width: 160px; border-radius: 3px; }
+  .bar i { display: block; background: #79c0ff; height: 6px; border-radius: 3px; }
+  pre { color: #8b98a5; max-height: 16rem; overflow-y: auto; }
+  #drain { color: #ffb86b; display: none; }
+</style>
+</head>
+<body>
+<h1>sweepd <span id="drain">— draining</span></h1>
+<div class="grid" id="stats"></div>
+<h2>sweeps</h2>
+<table><thead><tr>
+  <th>id</th><th>name</th><th>experiment</th><th>state</th>
+  <th>progress</th><th>prio</th><th>created</th>
+</tr></thead><tbody id="sweeps"></tbody></table>
+<h2>recent activity</h2>
+<pre id="events"></pre>
+<script>
+const esc = s => String(s ?? "").replace(/[&<>"]/g,
+  c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+async function tick() {
+  try {
+    const [stats, sweeps, events] = await Promise.all([
+      fetch("/v1/stats").then(r => r.json()),
+      fetch("/v1/sweeps").then(r => r.json()),
+      fetch("/dashboard/events").then(r => r.json()),
+    ]);
+    const cells = [
+      ["executed", stats.executed], ["cache hits", stats.cache_hits],
+      ["deduped", stats.deduped], ["retried", stats.retried],
+      ["failed", stats.failed], ["queued", stats.queued_jobs],
+      ["in flight", stats.inflight_jobs],
+      ["cache", stats.cache_entries + " / " + stats.cache_bytes + " B"],
+    ];
+    document.getElementById("stats").innerHTML = cells.map(
+      ([k, v]) => '<div class="stat"><b>' + esc(v) + "</b>" + esc(k) + "</div>").join("");
+    document.getElementById("drain").style.display = stats.draining ? "inline" : "none";
+    document.getElementById("sweeps").innerHTML = (sweeps.sweeps || []).slice().reverse().map(s => {
+      const pct = s.total ? Math.round(100 * s.done / s.total) : (s.state === "done" ? 100 : 0);
+      return "<tr><td>" + esc(s.id) + "</td><td>" + esc(s.name) + "</td><td>" +
+        esc(s.experiment || "jobs") + '</td><td class="state-' + esc(s.state) + '">' +
+        esc(s.state) + '</td><td><div class="bar"><i style="width:' + pct +
+        '%"></i></div> ' + s.done + "/" + s.total + "</td><td>" + esc(s.priority || 0) +
+        "</td><td>" + esc(s.created) + "</td></tr>";
+    }).join("");
+    document.getElementById("events").textContent = (events.events || []).join("\n");
+  } catch (e) { /* server restarting; keep polling */ }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,880 @@
+// Package sweepd is the durable control plane over the experiment
+// runner: a long-lived service that accepts sweep submissions over HTTP
+// (a named experiment or an explicit job list), schedules their
+// simulations through one shared job engine, and serves per-job status,
+// results and observability rollups while they run.
+//
+// The architecture is thin by design. One runner.Runner is shared by
+// every sweep and every client, so the engine's content-hash memo and
+// persistent cache give cross-client dedup for free: two clients
+// POSTing the same figure concurrently execute each simulation once.
+// Priority lives above the engine — the service holds submitted jobs in
+// a priority queue and keeps at most Workers of them in flight, so a
+// high-priority sweep overtakes a queued backlog without preempting
+// running jobs. Retry with exponential backoff lives below, inside the
+// engine (runner.Options.Retries), where it also covers every other
+// front end. Rendering goes through core.RunExperiment, the same code
+// path cmd/figures prints with, so an experiment sweep's result is
+// byte-identical to the CLI's output.
+package sweepd
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"latsim/internal/config"
+	"latsim/internal/core"
+	"latsim/internal/machine"
+	"latsim/internal/obs"
+	"latsim/internal/runner"
+	"latsim/internal/sweepd/api"
+	"latsim/internal/twin/validate"
+)
+
+// TwinSweepID is the extra experiment id the service accepts beyond
+// cmd/figures' registry: the analytical twin's design-space sweep
+// (cmd/twin -sweep).
+const TwinSweepID = "twin-sweep"
+
+// Options configure a Service.
+type Options struct {
+	// Workers bounds concurrently executing jobs (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir enables the engine's persistent result cache;
+	// CacheMaxBytes caps it with LRU eviction (0 = unbounded).
+	CacheDir      string
+	CacheMaxBytes int64
+	// Timeout is the per-attempt wall-clock limit (0 = none).
+	Timeout time.Duration
+	// Retries, RetryBackoff and RetryMaxBackoff configure the engine's
+	// retry of failed attempts (error, panic or timeout).
+	Retries         int
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// ObsSpanRate is the span-tracing sample rate for obs-enabled
+	// sweeps (0 = the figures CLI's default, 1/64).
+	ObsSpanRate float64
+	// ChaosFailures injects faults for testing the retry path: the
+	// first N executions panic before simulating. With Retries > 0 the
+	// affected jobs recover on a later attempt.
+	ChaosFailures int
+	// Trace receives the engine's progress lines (nil discards).
+	Trace io.Writer
+	// Exec overrides the execution function (nil = core.Exec, the real
+	// simulator). Tests use this to run the scheduler without
+	// simulating.
+	Exec runner.ExecFunc
+}
+
+// Service is the sweep control plane. Create with New, serve Handler()
+// over HTTP, stop with Drain (graceful) and Close.
+type Service struct {
+	opts    Options
+	eng     *runner.Runner
+	workers int
+
+	ctx    context.Context // base context; Close cancels every job
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled on sweep completion (Drain waits on it)
+	sweeps   map[string]*sweep
+	order    []string // sweep ids in submission order
+	sessions map[sessionKey]*sessionEntry
+	queue    jobQueue
+	seq      int64 // FIFO tiebreak within a priority
+	nextID   int
+	inflight int
+	draining bool
+
+	chaosLeft int64 // remaining injected faults
+
+	events eventLog // dashboard's recent-activity feed
+}
+
+// sessionKey identifies a shareable core.Session: jobs hash over
+// exactly these knobs (plus the per-job config), so sweeps that agree
+// on them dedup against each other.
+type sessionKey struct {
+	scale core.Scale
+	seed  int64
+	obs   bool
+	check bool
+}
+
+type sessionEntry struct {
+	sess *core.Session
+	obs  *obs.Options // the session's exact Obs pointer (nil when off)
+}
+
+// sweep is one accepted submission.
+type sweep struct {
+	id   string
+	spec *api.SweepSpec
+
+	scale core.Scale
+	sess  *sessionEntry
+
+	ctx    context.Context // canceled by DELETE and by service Close
+	cancel context.CancelFunc
+
+	// Guarded by Service.mu.
+	state      string
+	err        string
+	jobs       []*jobEntry
+	remaining  int  // jobs not yet terminal; render runs when it hits 0
+	finalizing bool // a goroutine owns the render step
+	collected  bool // the result has been served at least once
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	result     []byte // rendered output (terminal sweeps)
+	resultCT   string // result content type
+}
+
+// jobEntry is one tracked job of a sweep. Guarded by Service.mu except
+// job (immutable after creation).
+type jobEntry struct {
+	job     runner.Job
+	key     string
+	cfgName string
+
+	state     string
+	fromCache bool
+	elapsed   uint64
+	attempts  []runner.Attempt
+	err       string
+	res       *machine.Result
+}
+
+// jobItem is one scheduler queue entry. entry == nil marks a
+// render-only sweep's single synthetic step (experiments whose jobs are
+// unknown before render time still queue and count against Workers).
+type jobItem struct {
+	prio  int
+	seq   int64
+	sweep *sweep
+	entry *jobEntry
+}
+
+// jobQueue is a max-heap on (priority, FIFO order).
+type jobQueue []*jobItem
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*jobItem)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// New builds the service and its shared engine.
+func New(opts Options) (*Service, error) {
+	if opts.ObsSpanRate == 0 {
+		opts.ObsSpanRate = 1.0 / 64
+	}
+	if err := config.ValidateSpanRate(opts.ObsSpanRate); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opts:      opts,
+		sweeps:    map[string]*sweep{},
+		sessions:  map[sessionKey]*sessionEntry{},
+		chaosLeft: int64(opts.ChaosFailures),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	exec := opts.Exec
+	if exec == nil {
+		exec = core.Exec
+	}
+	if opts.ChaosFailures > 0 {
+		exec = s.chaosExec(exec)
+	}
+	eng, err := runner.New(runner.Options{
+		Workers:         opts.Workers,
+		CacheDir:        opts.CacheDir,
+		CacheMaxBytes:   opts.CacheMaxBytes,
+		Timeout:         opts.Timeout,
+		Retries:         opts.Retries,
+		RetryBackoff:    opts.RetryBackoff,
+		RetryMaxBackoff: opts.RetryMaxBackoff,
+		Trace:           opts.Trace,
+		Hooks: &runner.Hooks{
+			OnAttemptStart: func(_ string, j runner.Job, n int) {
+				if n > 1 {
+					s.events.addf("retrying %s (attempt %d)", j, n)
+				}
+			},
+			OnAttemptDone: func(_ string, j runner.Job, n int, err error) {
+				if err != nil {
+					s.events.addf("attempt %d of %s failed: %v", n, j, firstLine(err))
+				}
+			},
+			OnFinish: func(_ string, j runner.Job, err error, hit bool) {
+				switch {
+				case err != nil:
+					s.events.addf("failed %s: %v", j, firstLine(err))
+				case hit:
+					s.events.addf("cache hit %s", j)
+				default:
+					s.events.addf("done %s", j)
+				}
+			},
+		},
+	}, exec)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.workers = opts.Workers
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	return s, nil
+}
+
+// chaosExec panics for the first ChaosFailures executions, then passes
+// through — the in-process stand-in for killing a worker, exercising
+// panic containment and retry end to end.
+func (s *Service) chaosExec(exec runner.ExecFunc) runner.ExecFunc {
+	return func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		s.mu.Lock()
+		n := s.chaosLeft
+		if n > 0 {
+			s.chaosLeft--
+		}
+		s.mu.Unlock()
+		if n > 0 {
+			panic(fmt.Sprintf("sweepd: chaos: injected worker failure (%d left)", n-1))
+		}
+		return exec(ctx, j)
+	}
+}
+
+// Engine exposes the shared engine (metrics, cache) to the HTTP layer
+// and tests.
+func (s *Service) Engine() *runner.Runner { return s.eng }
+
+// knownExperiment reports whether the service can run id.
+func knownExperiment(id string) bool {
+	return id == TwinSweepID || core.KnownExperiment(id)
+}
+
+// session returns (building on first use) the shared session for the
+// sweep's scale/seed/obs/check combination. Sessions submit to the one
+// shared engine, so they exist only to carry those knobs.
+func (s *Service) session(key sessionKey) *sessionEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.sessions[key]; ok {
+		return e
+	}
+	sess := core.NewSession(key.scale)
+	sess.Engine = s.eng
+	sess.Ctx = s.ctx
+	sess.Seed = key.seed
+	sess.Check = key.check
+	e := &sessionEntry{sess: sess}
+	if key.obs {
+		e.obs = &obs.Options{SpanRate: s.opts.ObsSpanRate}
+		sess.Obs = e.obs
+	}
+	s.sessions[key] = e
+	return e
+}
+
+// Submit accepts a parsed sweep spec, queues its jobs, and returns the
+// sweep id. It validates everything derived from untrusted input
+// (scale, experiment id, per-job configs) before accepting.
+func (s *Service) Submit(spec *api.SweepSpec) (string, error) {
+	scaleStr := spec.Scale
+	if scaleStr == "" {
+		scaleStr = "small"
+	}
+	scale, err := core.ParseScale(scaleStr)
+	if err != nil {
+		return "", err
+	}
+	if spec.Experiment != "" && !knownExperiment(spec.Experiment) {
+		return "", fmt.Errorf("sweepd: unknown experiment %q", spec.Experiment)
+	}
+	sessEnt := s.session(sessionKey{scale: scale, seed: spec.Seed, obs: spec.Obs, check: spec.Check})
+
+	sw := &sweep{
+		spec:  spec,
+		scale: scale,
+		sess:  sessEnt,
+		state: api.StateQueued,
+	}
+	sw.ctx, sw.cancel = context.WithCancel(s.ctx)
+
+	// Resolve the job list up front so a bad config rejects the whole
+	// submission instead of failing a half-run sweep.
+	var reqs []core.Request
+	if spec.Experiment != "" {
+		if spec.Experiment != TwinSweepID {
+			if reqs, err = sessEnt.sess.ExperimentRequests(spec.Experiment); err != nil {
+				return "", err
+			}
+		}
+	} else {
+		for i, js := range spec.Jobs {
+			cfg, err := config.Overlay(core.Base(), js.Config)
+			if err != nil {
+				return "", fmt.Errorf("job %d: %w", i, err)
+			}
+			reqs = append(reqs, core.Request{App: js.App, Cfg: cfg})
+		}
+	}
+	for _, r := range reqs {
+		j := runner.Job{
+			App:   r.App,
+			Scale: scale.String(),
+			Seed:  spec.Seed,
+			Obs:   sessEnt.obs,
+			Check: spec.Check,
+			Cfg:   r.Cfg,
+		}
+		sw.jobs = append(sw.jobs, &jobEntry{
+			job:     j,
+			key:     j.Key(),
+			cfgName: r.Cfg.Name(),
+			state:   api.JobPending,
+		})
+	}
+	sw.remaining = len(sw.jobs)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		sw.cancel()
+		return "", errors.New("sweepd: draining, not accepting sweeps")
+	}
+	s.nextID++
+	sw.id = fmt.Sprintf("s%d", s.nextID)
+	sw.created = time.Now()
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	if len(sw.jobs) == 0 {
+		// Render-only: queue one synthetic step so priority ordering and
+		// the Workers bound still apply.
+		s.seq++
+		heap.Push(&s.queue, &jobItem{prio: spec.Priority, seq: s.seq, sweep: sw})
+	} else {
+		for _, je := range sw.jobs {
+			s.seq++
+			heap.Push(&s.queue, &jobItem{prio: spec.Priority, seq: s.seq, sweep: sw, entry: je})
+		}
+	}
+	s.mu.Unlock()
+	s.events.addf("accepted sweep %s (%s, %d jobs)", sw.id, sw.label(), len(sw.jobs))
+	s.dispatch()
+	return sw.id, nil
+}
+
+func (sw *sweep) label() string {
+	if sw.spec.Experiment != "" {
+		return sw.spec.Experiment
+	}
+	return fmt.Sprintf("%d explicit jobs", len(sw.spec.Jobs))
+}
+
+// dispatch starts queued jobs while worker slots are free. Callers must
+// NOT hold s.mu.
+func (s *Service) dispatch() {
+	for {
+		s.mu.Lock()
+		if s.inflight >= s.workers || s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&s.queue).(*jobItem)
+		sw := it.sweep
+		if sw.state == api.StateCanceled {
+			if it.entry != nil && it.entry.state == api.JobPending {
+				it.entry.state = api.JobSkipped
+				sw.remaining--
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if sw.state == api.StateQueued {
+			sw.state = api.StateRunning
+			sw.started = time.Now()
+		}
+		s.inflight++
+		if it.entry != nil {
+			it.entry.state = api.JobRunning
+		}
+		s.mu.Unlock()
+		go s.runItem(it)
+	}
+}
+
+// runItem executes one queue entry, releases its worker slot, and
+// finalizes the sweep when it was the last outstanding piece.
+func (s *Service) runItem(it *jobItem) {
+	sw := it.sweep
+	if it.entry != nil {
+		s.runJob(sw, it.entry)
+	}
+	s.mu.Lock()
+	s.inflight--
+	last := it.entry == nil || (sw.remaining == 0 && sw.state == api.StateRunning)
+	s.mu.Unlock()
+	if last {
+		s.finalize(sw)
+	}
+	s.dispatch()
+}
+
+// maxPoisonRetries bounds Forget+resubmit of a task failed by another
+// sweep's canceled context.
+const maxPoisonRetries = 2
+
+// runJob submits the job to the shared engine and records its outcome.
+func (s *Service) runJob(sw *sweep, je *jobEntry) {
+	task := s.eng.Submit(sw.ctx, je.job)
+	res, err := task.Wait()
+	// Cross-sweep context poisoning: the engine memoizes the FIRST
+	// submitter's context, so a job deduplicated onto a sweep that was
+	// canceled mid-flight fails with that sweep's cancellation even
+	// though ours is live. Forget the poisoned memo entry and resubmit
+	// under our own context (bounded; normally the retry loads the
+	// fresh result from the persistent cache or re-executes once).
+	for retries := 0; err != nil && sw.ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+		retries < maxPoisonRetries; retries++ {
+		if !s.eng.Forget(je.key) {
+			break
+		}
+		s.events.addf("resubmitting %s (deduplicated onto a canceled sweep)", je.job)
+		task = s.eng.Submit(sw.ctx, je.job)
+		res, err = task.Wait()
+	}
+	s.mu.Lock()
+	je.attempts = task.Attempts()
+	je.fromCache = task.FromCache()
+	if err != nil {
+		je.state = api.JobFailed
+		je.err = err.Error()
+	} else {
+		je.state = api.JobDone
+		je.res = res
+		if res != nil {
+			je.elapsed = uint64(res.Elapsed)
+		}
+	}
+	sw.remaining--
+	s.mu.Unlock()
+}
+
+// finalize renders the sweep's result once every job is terminal. Two
+// jobs finishing together can both observe remaining == 0; the
+// finalizing flag elects exactly one renderer.
+func (s *Service) finalize(sw *sweep) {
+	s.mu.Lock()
+	if sw.state != api.StateRunning || sw.finalizing {
+		s.mu.Unlock()
+		return
+	}
+	sw.finalizing = true
+	var failed *jobEntry
+	for _, je := range sw.jobs {
+		if je.state == api.JobFailed {
+			failed = je
+			break
+		}
+	}
+	canceled := sw.ctx.Err() != nil
+	s.mu.Unlock()
+
+	var state, errMsg string
+	var result []byte
+	contentType := "text/plain; charset=utf-8"
+	switch {
+	case canceled:
+		state = api.StateCanceled
+	case failed != nil:
+		state = api.StateFailed
+		errMsg = fmt.Sprintf("job %s (%s) failed: %s", failed.job.App, failed.cfgName, failed.err)
+	default:
+		var err error
+		result, contentType, err = s.render(sw)
+		if err != nil {
+			state, errMsg = api.StateFailed, err.Error()
+		} else {
+			state = api.StateDone
+		}
+	}
+
+	s.mu.Lock()
+	if sw.state == api.StateRunning { // Cancel may have won while rendering
+		sw.state = state
+		sw.err = errMsg
+		sw.result = result
+		sw.resultCT = contentType
+		sw.finished = time.Now()
+	} else {
+		state = sw.state
+	}
+	s.mu.Unlock()
+	s.events.addf("sweep %s %s", sw.id, state)
+	s.cond.Broadcast()
+}
+
+// render produces the sweep's result document. Experiment sweeps go
+// through core.RunExperiment — every simulation request was already
+// executed and memoized, so this assembles bytes identical to the
+// cmd/figures output (including its trailing blank separator line).
+func (s *Service) render(sw *sweep) ([]byte, string, error) {
+	if exp := sw.spec.Experiment; exp != "" {
+		var buf bytes.Buffer
+		if exp == TwinSweepID {
+			rep, err := validate.Sweep(sw.sess.sess)
+			if err != nil {
+				return nil, "", err
+			}
+			rep.Render(func(line string) { fmt.Fprintln(&buf, line) })
+		} else {
+			if err := sw.sess.sess.RunExperiment(&buf, exp, nil); err != nil {
+				return nil, "", err
+			}
+			buf.WriteByte('\n') // figures prints a blank line after each experiment
+		}
+		return buf.Bytes(), "text/plain; charset=utf-8", nil
+	}
+	return s.renderJobs(sw)
+}
+
+// jobResult is one entry of a job-list sweep's results document.
+type jobResult struct {
+	App       string          `json:"app"`
+	Config    string          `json:"config"`
+	Key       string          `json:"key"`
+	FromCache bool            `json:"from_cache,omitempty"`
+	Result    *machine.Result `json:"result"`
+}
+
+// renderJobs assembles the results document for an explicit job-list
+// sweep: every job's full simulation result, in submission order.
+func (s *Service) renderJobs(sw *sweep) ([]byte, string, error) {
+	s.mu.Lock()
+	doc := struct {
+		Jobs []jobResult `json:"jobs"`
+	}{Jobs: make([]jobResult, 0, len(sw.jobs))}
+	for _, je := range sw.jobs {
+		doc.Jobs = append(doc.Jobs, jobResult{
+			App:       je.job.App,
+			Config:    je.cfgName,
+			Key:       je.key,
+			FromCache: je.fromCache,
+			Result:    je.res,
+		})
+	}
+	s.mu.Unlock()
+	b, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	return append(b, '\n'), "application/json", nil
+}
+
+// Drain stops accepting sweeps and waits until every accepted sweep is
+// terminal or ctx expires. It does not cancel anything: accepted work
+// finishes normally.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		active := 0
+		for _, sw := range s.sweeps {
+			switch sw.state {
+			case api.StateQueued, api.StateRunning:
+				active++
+			}
+		}
+		if active == 0 {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("sweepd: drain: %d sweeps still active: %w", active, ctx.Err())
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close cancels every in-flight job and rejects further engine
+// submissions. Call Drain first for a graceful stop.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	s.eng.Close()
+	s.cond.Broadcast()
+}
+
+// Cancel cancels a sweep: pending jobs are skipped, running ones are
+// interrupted through the sweep's context. Canceling a terminal sweep
+// is a no-op. Reports whether the sweep exists.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	terminal := sw.state == api.StateDone || sw.state == api.StateFailed || sw.state == api.StateCanceled
+	if !terminal {
+		if sw.state == api.StateQueued {
+			sw.started = time.Now()
+		}
+		sw.state = api.StateCanceled
+		sw.finished = time.Now()
+	}
+	s.mu.Unlock()
+	if !terminal {
+		sw.cancel()
+		s.events.addf("sweep %s canceled", id)
+		s.cond.Broadcast()
+	}
+	return true
+}
+
+// Status snapshots one sweep (nil if unknown).
+func (s *Service) Status(id string) *api.SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return nil
+	}
+	return sw.statusLocked()
+}
+
+func (sw *sweep) statusLocked() *api.SweepStatus {
+	st := &api.SweepStatus{
+		ID:         sw.id,
+		Name:       sw.spec.Name,
+		State:      sw.state,
+		Priority:   sw.spec.Priority,
+		Experiment: sw.spec.Experiment,
+		Scale:      sw.scale.String(),
+		Created:    stamp(sw.created),
+		Started:    stamp(sw.started),
+		Finished:   stamp(sw.finished),
+		Error:      sw.err,
+		Total:      len(sw.jobs),
+	}
+	for _, je := range sw.jobs {
+		js := api.JobStatus{
+			Key:           je.key,
+			App:           je.job.App,
+			Config:        je.cfgName,
+			State:         je.state,
+			FromCache:     je.fromCache,
+			ElapsedCycles: je.elapsed,
+			Error:         je.err,
+		}
+		for _, a := range je.attempts {
+			js.Attempts = append(js.Attempts, api.Attempt{N: a.N, Err: a.Err})
+		}
+		switch je.state {
+		case api.JobDone, api.JobFailed, api.JobSkipped:
+			st.Done++
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}
+
+// List snapshots every sweep in submission order.
+func (s *Service) List() *api.SweepList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &api.SweepList{Sweeps: []api.SweepSummary{}}
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		st := sw.statusLocked()
+		out.Sweeps = append(out.Sweeps, api.SweepSummary{
+			ID:         st.ID,
+			Name:       st.Name,
+			State:      st.State,
+			Priority:   st.Priority,
+			Experiment: st.Experiment,
+			Done:       st.Done,
+			Total:      st.Total,
+			Created:    st.Created,
+		})
+	}
+	return out
+}
+
+// Result returns a terminal sweep's rendered result. ok reports the
+// sweep exists AND finished successfully; state tells the caller what
+// to report otherwise.
+func (s *Service) Result(id string) (data []byte, contentType, state string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, found := s.sweeps[id]
+	if !found {
+		return nil, "", "", false
+	}
+	if sw.state != api.StateDone {
+		return nil, "", sw.state, false
+	}
+	if !sw.collected {
+		sw.collected = true
+		s.cond.Broadcast() // WaitCollected may be blocked on this fetch
+	}
+	return sw.result, sw.resultCT, sw.state, true
+}
+
+// WaitCollected blocks until every successfully finished sweep's result
+// has been served at least once, or ctx expires. A draining service
+// calls this after Drain so it does not exit holding results no client
+// has seen — the last leg of "accepted work is never lost".
+func (s *Service) WaitCollected(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		uncollected := 0
+		for _, sw := range s.sweeps {
+			if sw.state == api.StateDone && !sw.collected {
+				uncollected++
+			}
+		}
+		if uncollected == 0 {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("sweepd: %d results never collected: %w", uncollected, ctx.Err())
+		}
+		s.cond.Wait()
+	}
+}
+
+// Report aggregates the sweep's per-job observability reports. Returns
+// nil when the sweep is unknown; an empty aggregate when it recorded
+// nothing.
+func (s *Service) Report(id string) *obs.SweepAggregate {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	var reports []*obs.Report
+	for _, je := range sw.jobs {
+		if je.res != nil {
+			reports = append(reports, je.res.Obs)
+		}
+	}
+	s.mu.Unlock()
+	return obs.Aggregate(reports)
+}
+
+// Stats snapshots the service and engine counters.
+func (s *Service) Stats() *api.Stats {
+	m := s.eng.Metrics()
+	st := &api.Stats{
+		Submitted: uint64(m.Submitted),
+		Deduped:   uint64(m.Deduped),
+		Executed:  uint64(m.Executed),
+		CacheHits: uint64(m.CacheHits),
+		Retried:   uint64(m.Retried),
+		Failed:    uint64(m.Failed),
+		Sweeps:    map[string]int{},
+	}
+	if c := s.eng.Cache(); c != nil {
+		st.CacheEntries = c.Len()
+		st.CacheBytes = c.Size()
+	}
+	s.mu.Lock()
+	st.QueuedJobs = s.queue.Len()
+	st.InflightJobs = s.inflight
+	st.Draining = s.draining
+	for _, sw := range s.sweeps {
+		st.Sweeps[sw.state]++
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// stamp renders a status timestamp ("" for unset).
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// firstLine trims an error (panic traces include a stack) for the
+// event feed.
+func firstLine(err error) string {
+	msg := err.Error()
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == '\n' {
+			return msg[:i]
+		}
+	}
+	return msg
+}
+
+// eventLog is a fixed-size ring of recent scheduler events for the
+// dashboard.
+type eventLog struct {
+	mu   sync.Mutex
+	ring [64]string
+	n    int
+}
+
+func (l *eventLog) addf(format string, args ...any) {
+	l.mu.Lock()
+	l.ring[l.n%len(l.ring)] = fmt.Sprintf("%s  %s",
+		time.Now().UTC().Format("15:04:05"), fmt.Sprintf(format, args...))
+	l.n++
+	l.mu.Unlock()
+}
+
+// Recent returns the latest events, newest first.
+func (l *eventLog) Recent() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	count := l.n
+	if count > len(l.ring) {
+		count = len(l.ring)
+	}
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, l.ring[(l.n-1-i)%len(l.ring)])
+	}
+	return out
+}

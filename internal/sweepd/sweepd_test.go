@@ -1,0 +1,573 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"latsim/internal/core"
+	"latsim/internal/machine"
+	"latsim/internal/obs"
+	"latsim/internal/runner"
+	"latsim/internal/sweepd/api"
+)
+
+// fakeExec returns a fast deterministic ExecFunc; execs counts real
+// executions.
+func fakeExec(execs *atomic.Int64) runner.ExecFunc {
+	return func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		execs.Add(1)
+		res := &machine.Result{AppName: j.App, Cfg: j.Cfg, Elapsed: 1000}
+		if j.Obs != nil {
+			res.Obs = &obs.Report{
+				Elapsed: 1000,
+				BucketCycles: []obs.NamedSeries{
+					{Name: "busy", Values: []uint64{40, 50}},
+				},
+			}
+		}
+		return res, nil
+	}
+}
+
+// newTestService boots a service over an httptest server. Closing is
+// registered on t.Cleanup.
+func newTestService(t *testing.T, opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// submit POSTs a sweep and returns its id.
+func submit(t *testing.T, base, body string) string {
+	t.Helper()
+	code, b := post(t, base+"/v1/sweeps", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps: %d %s", code, b)
+	}
+	var c api.Created
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatal(err)
+	}
+	return c.ID
+}
+
+// waitTerminal polls a sweep until it leaves queued/running.
+func waitTerminal(t *testing.T, base, id string) *api.SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, b := get(t, base+"/v1/sweeps/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET status: %d %s", code, b)
+		}
+		var st api.SweepStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case api.StateDone, api.StateFailed, api.StateCanceled:
+			return &st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobSweepLifecycle(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 2, Exec: fakeExec(&execs)})
+
+	id := submit(t, ts.URL, `{"name": "pair", "jobs": [
+		{"app": "LU", "config": {"Procs": 4}},
+		{"app": "MP3D"}
+	]}`)
+	st := waitTerminal(t, ts.URL, id)
+	if st.State != api.StateDone || st.Done != 2 || st.Total != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Name != "pair" || st.Created == "" || st.Started == "" || st.Finished == "" {
+		t.Fatalf("metadata missing: %+v", st)
+	}
+	for _, js := range st.Jobs {
+		if js.State != api.JobDone || js.Key == "" || js.ElapsedCycles != 1000 {
+			t.Fatalf("job: %+v", js)
+		}
+	}
+
+	code, b := get(t, ts.URL+"/v1/sweeps/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, b)
+	}
+	var doc struct {
+		Jobs []struct {
+			App    string          `json:"app"`
+			Config string          `json:"config"`
+			Result json.RawMessage `json:"result"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Jobs) != 2 || doc.Jobs[0].App != "LU" || doc.Jobs[1].App != "MP3D" {
+		t.Fatalf("results doc: %s", b)
+	}
+	if doc.Jobs[0].Result == nil || string(doc.Jobs[0].Result) == "null" {
+		t.Fatal("job result missing from document")
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("executions = %d, want 2", execs.Load())
+	}
+}
+
+// Two clients concurrently submitting identical sweeps must execute
+// each distinct job exactly once: the shared engine's singleflight
+// memo coalesces them.
+func TestDedupAcrossConcurrentClients(t *testing.T) {
+	var execs atomic.Int64
+	svc, ts := newTestService(t, Options{Workers: 4, Exec: fakeExec(&execs)})
+
+	spec := `{"jobs": [
+		{"app": "LU"}, {"app": "MP3D"}, {"app": "PTHOR"}
+	]}`
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = submit(t, ts.URL, spec)
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if st := waitTerminal(t, ts.URL, id); st.State != api.StateDone {
+			t.Fatalf("sweep %s: %+v", id, st)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("executions = %d, want 3 (identical submissions must dedup)", execs.Load())
+	}
+	m := svc.Engine().Metrics()
+	if m.Deduped != 3 {
+		t.Fatalf("Deduped = %d, want 3", m.Deduped)
+	}
+	// The stats endpoint surfaces the same counters.
+	code, b := get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, b)
+	}
+	var stats api.Stats
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 3 || stats.Deduped != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// An injected fault (a paniced worker) is retried with backoff and the
+// sweep completes; the attempt ledger records the failures.
+func TestChaosRetryRecovers(t *testing.T) {
+	var execs atomic.Int64
+	svc, ts := newTestService(t, Options{
+		Workers:       1,
+		Exec:          fakeExec(&execs),
+		ChaosFailures: 2,
+		Retries:       3,
+		RetryBackoff:  time.Millisecond,
+	})
+	id := submit(t, ts.URL, `{"jobs": [{"app": "LU"}]}`)
+	st := waitTerminal(t, ts.URL, id)
+	if st.State != api.StateDone {
+		t.Fatalf("sweep did not recover: %+v", st)
+	}
+	if len(st.Jobs[0].Attempts) != 2 {
+		t.Fatalf("attempt ledger: %+v", st.Jobs[0].Attempts)
+	}
+	for i, a := range st.Jobs[0].Attempts {
+		if a.N != i+1 || !strings.Contains(a.Err, "chaos") {
+			t.Fatalf("attempt %d: %+v", i, a)
+		}
+	}
+	if m := svc.Engine().Metrics(); m.Retried != 2 {
+		t.Fatalf("Retried = %d, want 2", m.Retried)
+	}
+}
+
+func TestRetryBudgetExhaustedFailsSweep(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{
+		Workers:       1,
+		Exec:          fakeExec(&execs),
+		ChaosFailures: 10,
+		Retries:       1,
+		RetryBackoff:  time.Millisecond,
+	})
+	id := submit(t, ts.URL, `{"jobs": [{"app": "LU"}]}`)
+	st := waitTerminal(t, ts.URL, id)
+	if st.State != api.StateFailed || st.Error == "" {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Jobs[0].State != api.JobFailed {
+		t.Fatalf("job: %+v", st.Jobs[0])
+	}
+	if code, _ := get(t, ts.URL+"/v1/sweeps/"+id+"/result"); code != http.StatusConflict {
+		t.Fatalf("result of failed sweep: %d, want 409", code)
+	}
+}
+
+// A higher-priority sweep submitted later overtakes queued lower-
+// priority jobs (without preempting the one already running).
+func TestPriorityOvertakesQueue(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 16)
+	var mu sync.Mutex
+	var order []string
+	exec := func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		mu.Lock()
+		order = append(order, j.App+"/"+fmt.Sprint(j.Cfg.Procs))
+		mu.Unlock()
+		started <- j.App
+		<-release
+		return &machine.Result{AppName: j.App, Cfg: j.Cfg, Elapsed: 1}, nil
+	}
+	_, ts := newTestService(t, Options{Workers: 1, Exec: exec})
+
+	submit(t, ts.URL, `{"jobs": [
+		{"app": "LU"}, {"app": "MP3D"}, {"app": "PTHOR"}
+	]}`)
+	<-started // the first low-priority job occupies the only worker
+	hi := submit(t, ts.URL, `{"priority": 5, "jobs": [{"app": "LU", "config": {"Procs": 4}}]}`)
+	close(release)
+
+	st := waitTerminal(t, ts.URL, hi)
+	if st.State != api.StateDone {
+		t.Fatalf("high-priority sweep: %+v", st)
+	}
+	// Drain the rest, then check order: LU first (was running), then
+	// the priority-5 job, then the remaining queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d executions", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"LU/16", "LU/4", "MP3D/16", "PTHOR/16"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// DELETE cancels: the running job is interrupted through the sweep's
+// context, pending jobs are skipped, and no result is served.
+func TestCancelInterruptsAndSkips(t *testing.T) {
+	started := make(chan struct{}, 4)
+	exec := func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	_, ts := newTestService(t, Options{Workers: 1, Exec: exec})
+
+	id := submit(t, ts.URL, `{"jobs": [
+		{"app": "LU"}, {"app": "MP3D"}, {"app": "PTHOR"}
+	]}`)
+	<-started
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+
+	st := waitTerminal(t, ts.URL, id)
+	if st.State != api.StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	var skipped int
+	deadline := time.Now().Add(10 * time.Second)
+	for skipped == 0 && time.Now().Before(deadline) {
+		st = waitTerminal(t, ts.URL, id)
+		skipped = 0
+		for _, js := range st.Jobs {
+			if js.State == api.JobSkipped {
+				skipped++
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2: %+v", skipped, st.Jobs)
+	}
+	if code, _ := get(t, ts.URL+"/v1/sweeps/"+id+"/result"); code != http.StatusConflict {
+		t.Fatalf("result of canceled sweep: %d, want 409", code)
+	}
+}
+
+// Drain stops intake but finishes accepted work.
+func TestDrainFinishesAcceptedWork(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	exec := func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		started <- struct{}{}
+		<-release
+		return &machine.Result{AppName: j.App, Cfg: j.Cfg, Elapsed: 7}, nil
+	}
+	svc, ts := newTestService(t, Options{Workers: 1, Exec: exec})
+
+	id := submit(t, ts.URL, `{"jobs": [{"app": "LU"}]}`)
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- svc.Drain(context.Background()) }()
+
+	// Wait for the drain flag, then verify intake is closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats api.Stats
+		_, b := get(t, ts.URL+"/v1/stats")
+		if err := json.Unmarshal(b, &stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining flag never set")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, b := post(t, ts.URL+"/v1/sweeps", `{"jobs": [{"app": "MP3D"}]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d %s", code, b)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+
+	close(release) // let the accepted job finish
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := waitTerminal(t, ts.URL, id); st.State != api.StateDone {
+		t.Fatalf("accepted sweep lost in drain: %+v", st)
+	}
+
+	// The drained result is still uncollected: WaitCollected must hold
+	// the door open until a client fetches it, then release.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := svc.WaitCollected(short); err == nil {
+		t.Fatal("WaitCollected returned before the result was fetched")
+	}
+	cancel()
+	if code, _ := get(t, ts.URL+"/v1/sweeps/"+id+"/result"); code != http.StatusOK {
+		t.Fatalf("result after drain: %d", code)
+	}
+	collected := make(chan error, 1)
+	go func() { collected <- svc.WaitCollected(context.Background()) }()
+	select {
+	case err := <-collected:
+		if err != nil {
+			t.Fatalf("WaitCollected after fetch: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCollected still blocked after the result was fetched")
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	exec := func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	svc, ts := newTestService(t, Options{Workers: 1, Exec: exec})
+	submit(t, ts.URL, `{"jobs": [{"app": "LU"}]}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := svc.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a sweep still running")
+	}
+}
+
+// The merged observability report aggregates per-job reports.
+func TestObsReport(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 2, Exec: fakeExec(&execs)})
+	id := submit(t, ts.URL, `{"obs": true, "jobs": [{"app": "LU"}, {"app": "MP3D"}]}`)
+	if st := waitTerminal(t, ts.URL, id); st.State != api.StateDone {
+		t.Fatalf("sweep: %+v", st)
+	}
+	code, b := get(t, ts.URL+"/v1/sweeps/"+id+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report: %d %s", code, b)
+	}
+	var agg obs.SweepAggregate
+	if err := json.Unmarshal(b, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 2 || agg.Elapsed != 2000 {
+		t.Fatalf("aggregate: %+v", agg)
+	}
+	if len(agg.BucketCycles) != 1 || agg.BucketCycles[0].Total != 180 {
+		t.Fatalf("bucket totals: %+v", agg.BucketCycles)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 1, Exec: fakeExec(&execs)})
+
+	for _, c := range []struct {
+		body string
+		want int
+	}{
+		{`{"experiment": "nope"}`, http.StatusBadRequest},
+		{`{"bogus": 1}`, http.StatusBadRequest},
+		{`{"jobs": [{"app": "LU", "config": {"Procs": 0}}]}`, http.StatusBadRequest},
+		{`{"experiment": "fig2", "scale": "enormous"}`, http.StatusBadRequest},
+	} {
+		if code, b := post(t, ts.URL+"/v1/sweeps", c.body); code != c.want {
+			t.Errorf("POST %s: %d %s, want %d", c.body, code, b, c.want)
+		}
+	}
+	for _, url := range []string{"/v1/sweeps/s99", "/v1/sweeps/s99/result", "/v1/sweeps/s99/report"} {
+		if code, _ := get(t, ts.URL+url); code != http.StatusNotFound {
+			t.Errorf("GET %s: not 404", url)
+		}
+	}
+	// Error envelope shape.
+	_, b := get(t, ts.URL+"/v1/sweeps/s99")
+	var e api.Error
+	if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+		t.Fatalf("error envelope: %s", b)
+	}
+}
+
+func TestResultNotReady(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(ctx context.Context, j runner.Job) (*machine.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &machine.Result{AppName: j.App, Cfg: j.Cfg, Elapsed: 1}, nil
+	}
+	_, ts := newTestService(t, Options{Workers: 1, Exec: exec})
+	id := submit(t, ts.URL, `{"jobs": [{"app": "LU"}]}`)
+	if code, _ := get(t, ts.URL+"/v1/sweeps/"+id+"/result"); code != http.StatusConflict {
+		t.Fatalf("result while running: want 409")
+	}
+	close(release)
+	if st := waitTerminal(t, ts.URL, id); st.State != api.StateDone {
+		t.Fatalf("sweep: %+v", st)
+	}
+}
+
+func TestDashboardServes(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 1, Exec: fakeExec(&execs)})
+	code, b := get(t, ts.URL+"/dashboard")
+	if code != http.StatusOK || !bytes.Contains(b, []byte("sweepd")) {
+		t.Fatalf("dashboard: %d", code)
+	}
+	if code, _ = get(t, ts.URL+"/dashboard/events"); code != http.StatusOK {
+		t.Fatalf("events: %d", code)
+	}
+	if code, _ = get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+}
+
+// An experiment sweep's rendered result is byte-identical to what
+// core.RunExperiment (the cmd/figures code path) writes, plus the
+// blank separator line the CLI appends.
+func TestExperimentResultMatchesFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations")
+	}
+	svc, ts := newTestService(t, Options{})
+	id := submit(t, ts.URL, `{"experiment": "hitrates"}`)
+	st := waitTerminal(t, ts.URL, id)
+	if st.State != api.StateDone {
+		t.Fatalf("sweep: %+v", st)
+	}
+	code, got := get(t, ts.URL+"/v1/sweeps/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d", code)
+	}
+
+	// Reference render through a session sharing the engine (every job
+	// is memoized, so this re-renders without re-simulating).
+	ref := core.NewSession(core.ScaleSmall)
+	ref.Engine = svc.Engine()
+	defer ref.Close()
+	var want bytes.Buffer
+	if err := ref.RunExperiment(&want, "hitrates", nil); err != nil {
+		t.Fatal(err)
+	}
+	want.WriteByte('\n')
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("service result diverges from figures render:\n--- service\n%s--- figures\n%s", got, want.Bytes())
+	}
+	// Every simulation the render needed was already executed by the
+	// sweep: the reference render must be pure memo hits.
+	if m := svc.Engine().Metrics(); m.Deduped == 0 {
+		t.Fatalf("reference render re-simulated: %+v", m)
+	}
+}
