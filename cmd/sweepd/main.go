@@ -9,6 +9,13 @@
 //	curl http://127.0.0.1:8080/v1/sweeps/s1          # status
 //	curl http://127.0.0.1:8080/v1/sweeps/s1/result   # rendered figure
 //
+// Obs-enabled sweeps ("obs": true, optionally "span_rate" to override
+// the -span-rate default) additionally serve their merged observability
+// at /v1/sweeps/{id}/report, the dashboard pane document at
+// /v1/sweeps/{id}/obs, and a judged comparison against another sweep at
+// /v1/sweeps/{id}/diff?base=<id>; the /dashboard page renders the
+// breakdown, stall waterfall and cross-sweep verdicts live.
+//
 // On SIGTERM or SIGINT the service drains: it stops accepting sweeps,
 // finishes the accepted ones (up to -drain-timeout), then exits.
 package main
@@ -37,7 +44,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "per-attempt wall-clock limit per job (0 = none)")
 		retries      = flag.Int("retries", 2, "re-run a failed job attempt up to this many times")
 		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "base backoff before a retry (doubles per attempt, jittered)")
-		spanRate     = flag.Float64("span-rate", 0, "span-tracing sample rate for obs sweeps (0 = default 1/64)")
+		spanRate     = flag.Float64("span-rate", 0, "default span-tracing sample rate for obs sweeps (0 = 1/64; a sweep's span_rate overrides)")
 		chaos        = flag.Int("chaos", 0, "TESTING: panic the first N job executions to exercise retry")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long a shutdown signal waits for accepted sweeps")
 		drainGrace   = flag.Duration("drain-grace", 30*time.Second, "after draining, keep serving until every finished sweep's result has been fetched (at most this long)")

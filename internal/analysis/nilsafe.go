@@ -16,6 +16,7 @@ var DefaultNilsafeTypes = []string{
 	"latsim/internal/obs/span.Span",
 	"latsim/internal/check.Checker",
 	"latsim/internal/runner.Hooks",
+	"latsim/internal/obs/diff.Diff",
 }
 
 // NewNilsafe returns the nilsafe analyzer for the given fully qualified

@@ -22,6 +22,7 @@ var DefaultSimdetPackages = []string{
 	"latsim/internal/msync",
 	"latsim/internal/check",
 	"latsim/internal/sweepd/api",
+	"latsim/internal/obs/diff",
 }
 
 // UnorderedMarker is the justification comment that suppresses the map

@@ -3,7 +3,10 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+
+	"latsim/internal/obs/span"
 )
 
 // This file rolls many runs' Reports up into one per-sweep digest. The
@@ -44,6 +47,10 @@ type SweepAggregate struct {
 	Runs int `json:"runs"`
 	// Elapsed is the summed simulated length of the aggregated runs.
 	Elapsed uint64 `json:"elapsed"`
+	// ProcCycles sums elapsed × processor count over the runs: the
+	// denominator that normalizes bucket cycles to the paper's points
+	// (a run that recorded no processor count contributes elapsed × 1).
+	ProcCycles uint64 `json:"proc_cycles"`
 	// BucketCycles sums each execution-time bucket's cycles; DirTxns
 	// each directory-transaction kind's count. Sorted by name.
 	BucketCycles []NamedTotal `json:"bucket_cycles,omitempty"`
@@ -81,22 +88,57 @@ func (h *Hist) Merge(other Hist) {
 	}
 }
 
+// SpanRateError reports an attempt to aggregate reports whose span
+// traces were sampled at different strides. Their sampled-span counts
+// and waterfall attributions are not comparable quantities, so the
+// aggregator refuses rather than silently summing apples and oranges;
+// the caller decides whether to drop the traces or re-run the sweep at
+// one rate.
+type SpanRateError struct {
+	// EveryA and EveryB are the two conflicting sampling strides
+	// (a span per EveryA-th vs per EveryB-th transaction).
+	EveryA, EveryB uint64
+}
+
+func (e *SpanRateError) Error() string {
+	return fmt.Sprintf("obs: cannot aggregate reports with different span sample strides (1/%d vs 1/%d)",
+		e.EveryA, e.EveryB)
+}
+
 // Aggregate rolls the reports up into one SweepAggregate. Nil reports
 // (jobs run without observability) are skipped; aggregating zero
-// reports returns an empty, non-nil aggregate.
-func Aggregate(reports []*Report) *SweepAggregate {
+// reports returns an empty, non-nil aggregate. Reports whose span
+// traces were sampled at different strides yield a *SpanRateError —
+// mixed-rate stall attributions would silently skew the rollup.
+// Mismatched processor counts are fine: every summed field is
+// machine-wide.
+func Aggregate(reports []*Report) (*SweepAggregate, error) {
 	agg := &SweepAggregate{}
 	buckets := map[string]uint64{}
 	dir := map[string]uint64{}
 	hists := map[string]*Hist{}
 	stallCycles := map[string]uint64{}
 	stallSegs := map[string]map[string]uint64{}
+	var every uint64
 	for _, rep := range reports {
 		if rep == nil {
 			continue
 		}
+		if rep.Spans != nil && rep.Spans.Every != 0 {
+			switch {
+			case every == 0:
+				every = rep.Spans.Every
+			case rep.Spans.Every != every:
+				return nil, &SpanRateError{EveryA: every, EveryB: rep.Spans.Every}
+			}
+		}
 		agg.Runs++
 		agg.Elapsed += rep.Elapsed
+		procs := uint64(rep.Procs)
+		if procs == 0 {
+			procs = 1
+		}
+		agg.ProcCycles += rep.Elapsed * procs
 		for _, s := range rep.BucketCycles {
 			buckets[s.Name] += sumSeries(s.Values)
 		}
@@ -143,7 +185,67 @@ func Aggregate(reports []*Report) *SweepAggregate {
 		}
 		agg.Stalls = append(agg.Stalls, st)
 	}
-	return agg
+	return agg, nil
+}
+
+// AsReport projects the aggregate onto a Report so report-level tooling
+// (the diff engine, Summary renderers) can treat a whole sweep as one
+// run. Totals become single-sample series; the stall waterfall is
+// rebuilt with each bucket's dominant source recomputed from the summed
+// segments. Per-processor data (timelines, processor counts) does not
+// survive aggregation, so the projection carries none. Nil-safe.
+func (agg *SweepAggregate) AsReport() *Report {
+	if agg == nil {
+		return nil
+	}
+	rep := &Report{
+		Schema:  ReportSchema,
+		Elapsed: agg.Elapsed,
+	}
+	// The projected processor count is the elapsed-weighted mean over
+	// the runs, so elapsed × procs reproduces ProcCycles exactly for
+	// uniform sweeps and points normalize the same way either route.
+	if agg.Elapsed > 0 {
+		rep.Procs = int((agg.ProcCycles + agg.Elapsed/2) / agg.Elapsed)
+	}
+	for _, t := range agg.BucketCycles {
+		rep.BucketCycles = append(rep.BucketCycles, NamedSeries{Name: t.Name, Values: []uint64{t.Total}})
+	}
+	for _, t := range agg.DirTxns {
+		rep.DirTxns = append(rep.DirTxns, NamedSeries{Name: t.Name, Values: []uint64{t.Total}})
+	}
+	rep.KernelEvents = []uint64{agg.KernelEvents}
+	// Report.Switches samples are uint32; split the sweep-wide total into
+	// as many saturated samples as it takes (SwitchTotal sums them back).
+	for v := agg.Switches; ; {
+		chunk := v
+		if chunk > math.MaxUint32 {
+			chunk = math.MaxUint32
+		}
+		rep.Switches = append(rep.Switches, uint32(chunk))
+		v -= chunk
+		if v == 0 {
+			break
+		}
+	}
+	rep.Hists = append(rep.Hists, agg.Hists...)
+	if len(agg.Stalls) > 0 {
+		wf := &span.Waterfall{}
+		for _, st := range agg.Stalls {
+			bw := span.BucketWaterfall{Bucket: st.Bucket, StallCycles: st.StallCycles}
+			var domCycles uint64
+			for _, s := range st.Segments {
+				bw.Segments = append(bw.Segments, span.SegmentShare{Kind: s.Kind, Attributed: s.Attributed})
+				if s.Attributed > domCycles {
+					domCycles = s.Attributed
+					bw.Dominant = s.Kind
+				}
+			}
+			wf.Total = append(wf.Total, bw)
+		}
+		rep.Waterfall = wf
+	}
+	return rep
 }
 
 // Summary prints the human-readable digest of the aggregate.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"latsim/internal/obs/span"
@@ -59,7 +60,10 @@ func TestAggregate(t *testing.T) {
 	r1 := aggTestReport(100, "read_miss/local", 8)
 	r2 := aggTestReport(200, "read_miss/local", 16)
 	r3 := aggTestReport(50, "sync/remote", 4)
-	agg := Aggregate([]*Report{r1, nil, r2, r3})
+	agg, err := Aggregate([]*Report{r1, nil, r2, r3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if agg.Runs != 3 {
 		t.Fatalf("Runs = %d, want 3 (nil reports skipped)", agg.Runs)
 	}
@@ -95,11 +99,19 @@ func TestAggregateDeterministic(t *testing.T) {
 	r1 := aggTestReport(100, "read_miss/local", 8)
 	r2 := aggTestReport(200, "write_miss/remote", 32)
 	r3 := aggTestReport(50, "sync/local", 4)
-	a, err := json.Marshal(Aggregate([]*Report{r1, r2, r3}))
+	agg1, err := Aggregate([]*Report{r1, r2, r3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := json.Marshal(Aggregate([]*Report{r3, r1, r2}))
+	a, err := json.Marshal(agg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := Aggregate([]*Report{r3, r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(agg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,8 +121,64 @@ func TestAggregateDeterministic(t *testing.T) {
 }
 
 func TestAggregateEmpty(t *testing.T) {
-	agg := Aggregate(nil)
+	agg, err := Aggregate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if agg == nil || agg.Runs != 0 {
 		t.Fatalf("Aggregate(nil) = %+v, want empty non-nil aggregate", agg)
+	}
+	// A slice of only nil reports (a sweep run without obs) is the same
+	// as no reports at all.
+	agg, err = Aggregate([]*Report{nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 0 || agg.Elapsed != 0 || len(agg.BucketCycles) != 0 {
+		t.Fatalf("all-nil aggregate not empty: %+v", agg)
+	}
+}
+
+// Machine-wide sums don't care how many processors produced them:
+// reports from differently-sized machines aggregate cleanly.
+func TestAggregateMismatchedProcCounts(t *testing.T) {
+	r1 := aggTestReport(100, "read_miss/local", 8)
+	r1.Procs = 16
+	r2 := aggTestReport(200, "read_miss/local", 16)
+	r2.Procs = 64
+	agg, err := Aggregate([]*Report{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 2 || agg.Elapsed != 300 {
+		t.Fatalf("mixed proc counts: %+v", agg)
+	}
+}
+
+// Reports traced at different span strides must refuse to merge with a
+// typed error — their stall attributions are not comparable.
+func TestAggregateSpanRateMismatch(t *testing.T) {
+	r1 := aggTestReport(100, "read_miss/local", 8)
+	r1.Spans = &span.Trace{Every: 16, Seen: 160, Sampled: 10}
+	r2 := aggTestReport(200, "read_miss/local", 16)
+	r2.Spans = &span.Trace{Every: 64, Seen: 640, Sampled: 10}
+	agg, err := Aggregate([]*Report{r1, r2})
+	if agg != nil || err == nil {
+		t.Fatalf("Aggregate = %+v, %v; want nil aggregate and error", agg, err)
+	}
+	var sre *SpanRateError
+	if !errors.As(err, &sre) {
+		t.Fatalf("error %T is not *SpanRateError: %v", err, err)
+	}
+	if sre.EveryA != 16 || sre.EveryB != 64 {
+		t.Fatalf("strides %d/%d, want 16/64", sre.EveryA, sre.EveryB)
+	}
+
+	// Same stride on every traced report merges fine, and untraced
+	// reports alongside traced ones don't confuse the check.
+	r2.Spans.Every = 16
+	r3 := aggTestReport(50, "sync/remote", 4) // no spans at all
+	if _, err := Aggregate([]*Report{r1, r2, r3}); err != nil {
+		t.Fatalf("uniform stride refused: %v", err)
 	}
 }

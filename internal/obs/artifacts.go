@@ -54,7 +54,7 @@ func ReadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("obs: decoding %s: %w", path, err)
 	}
 	if ver.Schema > ReportSchema {
-		return nil, fmt.Errorf("obs: %s has schema version %d, newer than this binary's %d — re-render it with the latsim build that wrote it",
+		return nil, fmt.Errorf("obs: %s has schema version %d, but this binary supports schema versions 0 (pre-v4) through %d — re-render it with the latsim build that wrote it",
 			path, ver.Schema, ReportSchema)
 	}
 	rep := &Report{}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -336,33 +337,83 @@ func TestChromeTraceSpanGolden(t *testing.T) {
 	}
 }
 
-// TestReadReportVersionSkew: a report stamped with a newer schema than
-// this binary must be refused with a clear error, never decoded into a
-// zero-value report.
+// TestReadReportVersionSkew: every past schema version (including the
+// version-less pre-v4 format) stays readable; anything newer than this
+// binary is refused with an error that names the supported range, never
+// decoded into a zero-value report.
 func TestReadReportVersionSkew(t *testing.T) {
 	dir := t.TempDir()
-	newer := filepath.Join(dir, "newer.report.json")
-	body := []byte(`{"schema_version":` + "999" + `,"interval":64,"elapsed":1,"procs":1}`)
-	if err := os.WriteFile(newer, body, 0o644); err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name   string
+		schema int // -1 = omit the schema_version field entirely
+		ok     bool
+	}{
+		{"pre-v4-unversioned", -1, true},
+		{"v1", 1, true},
+		{"v2", 2, true},
+		{"v3", 3, true},
+		{"v4", 4, true},
+		{"current", ReportSchema, true},
+		{"next", ReportSchema + 1, false},
+		{"far-future", 999, false},
 	}
-	if _, err := ReadReport(newer); err == nil {
-		t.Fatal("newer-schema report was accepted")
-	} else if !strings.Contains(err.Error(), "schema version 999") {
-		t.Errorf("error does not name the version skew: %v", err)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			body := `{"interval":64,"elapsed":1,"procs":1}`
+			if c.schema >= 0 {
+				body = fmt.Sprintf(`{"schema_version":%d,"interval":64,"elapsed":1,"procs":1}`, c.schema)
+			}
+			path := filepath.Join(dir, c.name+".report.json")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := ReadReport(path)
+			if c.ok {
+				if err != nil {
+					t.Fatalf("schema %d refused: %v", c.schema, err)
+				}
+				if rep.Interval != 64 {
+					t.Fatalf("schema %d decoded as %+v", c.schema, rep)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("schema %d accepted", c.schema)
+			}
+			for _, want := range []string{
+				fmt.Sprintf("schema version %d", c.schema),
+				fmt.Sprintf("0 (pre-v4) through %d", ReportSchema),
+			} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error does not name %q: %v", want, err)
+				}
+			}
+		})
 	}
+}
 
-	// Pre-v4 reports carry no schema field and must stay readable.
-	old := filepath.Join(dir, "old.report.json")
-	if err := os.WriteFile(old, []byte(`{"interval":64,"elapsed":1,"procs":1}`), 0o644); err != nil {
-		t.Fatal(err)
+// Compact must keep every aggregate the diff engine reads while
+// dropping the bulk payloads, and survive nil/absent fields.
+func TestReportCompact(t *testing.T) {
+	rep := goldenReport()
+	hadTracks, hadLinks := len(rep.Tracks) > 0, len(rep.MeshLinks) > 0
+	if !hadTracks || !hadLinks {
+		t.Fatalf("golden report too bare for this test: tracks=%v links=%v", hadTracks, hadLinks)
 	}
-	rep, err := ReadReport(old)
-	if err != nil {
-		t.Fatalf("version-less report refused: %v", err)
+	elapsed, nHists := rep.Elapsed, len(rep.Hists)
+	c := rep.Compact()
+	if c != rep {
+		t.Fatal("Compact did not return its receiver")
 	}
-	if rep.Schema != 0 || rep.Interval != 64 {
-		t.Errorf("old report decoded as %+v", rep)
+	if c.Tracks != nil || c.MeshLinks != nil {
+		t.Fatalf("bulk payloads survived: tracks=%d links=%d", len(c.Tracks), len(c.MeshLinks))
+	}
+	if c.Elapsed != elapsed || len(c.Hists) != nHists || len(c.BucketCycles) == 0 {
+		t.Fatal("Compact dropped aggregate fields")
+	}
+	var nilRep *Report
+	if nilRep.Compact() != nil {
+		t.Fatal("nil Compact not nil")
 	}
 }
 

@@ -171,6 +171,37 @@ func (r *Recorder) Finish(elapsed sim.Time) *Report {
 	return rep
 }
 
+// Compact strips the report's bulk payloads — raw span records,
+// per-processor timeline tracks, per-link mesh totals and per-processor
+// waterfalls — while keeping every aggregate the diff engine consumes
+// (bucket/counter series, histograms, machine-wide stall attribution,
+// invalidation accounting, and the span trace's sampling header). A
+// compacted small-scale report is a few KB instead of tens of MB, which
+// is what makes committing a baseline matrix under testdata/ viable.
+// Mutates rep in place and returns it for chaining; nil-safe.
+func (rep *Report) Compact() *Report {
+	if rep == nil {
+		return nil
+	}
+	rep.Tracks = nil
+	rep.MeshLinks = nil
+	if rep.Spans != nil {
+		rep.Spans = &span.Trace{
+			Every:   rep.Spans.Every,
+			Seen:    rep.Spans.Seen,
+			Sampled: rep.Spans.Sampled,
+			Dropped: rep.Spans.Dropped,
+		}
+	}
+	if rep.Waterfall != nil {
+		rep.Waterfall = &span.Waterfall{
+			Total: rep.Waterfall.Total,
+			Inval: rep.Waterfall.Inval,
+		}
+	}
+	return rep
+}
+
 // widen converts a uint32 series to the report's uint64 representation.
 func widen(s []uint32) []uint64 {
 	out := make([]uint64, len(s))

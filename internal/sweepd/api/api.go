@@ -30,8 +30,14 @@ type SweepSpec struct {
 	// Seed overrides the benchmarks' workload seeds (0 = paper seeds).
 	Seed int64 `json:"seed,omitempty"`
 	// Obs records observability data on every job; the sweep's merged
-	// report is served at /v1/sweeps/{id}/report.
+	// report is served at /v1/sweeps/{id}/report and its dashboard pane
+	// at /v1/sweeps/{id}/obs.
 	Obs bool `json:"obs,omitempty"`
+	// SpanRate tunes the obs span-tracing sample rate in (0, 1] for this
+	// sweep's jobs (0 = the service default). Requires Obs; sweeps that
+	// agree on the effective rate share sessions and dedup, sweeps that
+	// differ cache separately (the rate changes what a run records).
+	SpanRate float64 `json:"span_rate,omitempty"`
 	// Check runs every job under the runtime coherence invariant
 	// checker.
 	Check bool `json:"check,omitempty"`
@@ -71,6 +77,9 @@ func ParseSpec(raw []byte) (*SweepSpec, error) {
 	}
 	if spec.Experiment != "" && len(spec.Jobs) > 0 {
 		return nil, fmt.Errorf("sweep spec: experiment and jobs are mutually exclusive")
+	}
+	if spec.SpanRate != 0 && !spec.Obs {
+		return nil, fmt.Errorf("sweep spec: span_rate requires obs")
 	}
 	for i, j := range spec.Jobs {
 		if j.App == "" {
@@ -191,6 +200,57 @@ type Stats struct {
 	// Draining reports that the service has stopped accepting sweeps
 	// and is waiting for the accepted ones to finish.
 	Draining bool `json:"draining,omitempty"`
+}
+
+// ObsDoc is the GET /v1/sweeps/{id}/obs document: everything the
+// dashboard's observability pane draws — the sweep's merged
+// execution-time breakdown, critical-path stall waterfall and latency
+// statistics — flattened to plain types so the page renders it without
+// knowing the obs package's internals.
+type ObsDoc struct {
+	ID string `json:"id"`
+	// Runs counts the jobs that carried an obs report; Elapsed sums
+	// their simulated cycles.
+	Runs    int    `json:"runs"`
+	Elapsed uint64 `json:"elapsed"`
+	// Buckets is the merged execution-time breakdown; Points is the
+	// bucket's share of the summed elapsed cycles, x100.
+	Buckets []ObsBucket `json:"buckets,omitempty"`
+	// Stalls is the merged critical-path waterfall.
+	Stalls []ObsStall `json:"stalls,omitempty"`
+	// Hists summarizes the merged operation-latency histograms.
+	Hists []ObsHist `json:"hists,omitempty"`
+}
+
+// ObsBucket is one execution-time bucket of the merged breakdown.
+type ObsBucket struct {
+	Name   string  `json:"name"`
+	Cycles uint64  `json:"cycles"`
+	Points float64 `json:"points"`
+}
+
+// ObsStall is one stall bucket of the merged waterfall.
+type ObsStall struct {
+	Bucket      string       `json:"bucket"`
+	StallCycles uint64       `json:"stall_cycles"`
+	Dominant    string       `json:"dominant,omitempty"`
+	Segments    []ObsSegment `json:"segments,omitempty"`
+}
+
+// ObsSegment is one latency source's attributed share of a stall bucket.
+type ObsSegment struct {
+	Kind       string `json:"kind"`
+	Attributed uint64 `json:"attributed"`
+}
+
+// ObsHist is one merged latency histogram's summary statistics.
+type ObsHist struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.

@@ -22,6 +22,8 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/sweeps/{id}        sweep status
 //	GET    /v1/sweeps/{id}/result rendered result (terminal sweeps)
 //	GET    /v1/sweeps/{id}/report merged observability report (obs sweeps)
+//	GET    /v1/sweeps/{id}/obs    dashboard observability pane document
+//	GET    /v1/sweeps/{id}/diff   diff vs another sweep (?base=<id>)
 //	DELETE /v1/sweeps/{id}        cancel
 //	GET    /v1/stats              service + engine counters
 //	GET    /metrics               Prometheus exposition of the engine
@@ -36,6 +38,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/sweeps/{id}/obs", s.handleObs)
+	mux.HandleFunc("GET /v1/sweeps/{id}/diff", s.handleDiff)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -118,12 +122,49 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	agg := s.Report(id)
+	agg, err := s.Report(id)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
 	if agg == nil {
 		writeError(w, http.StatusNotFound, "no sweep %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, agg)
+}
+
+func (s *Service) handleObs(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	doc, err := s.Obs(id)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if doc == nil {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Service) handleDiff(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	base := r.URL.Query().Get("base")
+	if base == "" {
+		writeError(w, http.StatusBadRequest, "missing ?base=<sweep id>")
+		return
+	}
+	d, err := s.Diff(base, id)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if d == nil {
+		writeError(w, http.StatusNotFound, "no sweep %q or %q", base, id)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

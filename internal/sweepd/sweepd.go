@@ -34,6 +34,7 @@ import (
 	"latsim/internal/core"
 	"latsim/internal/machine"
 	"latsim/internal/obs"
+	"latsim/internal/obs/diff"
 	"latsim/internal/runner"
 	"latsim/internal/sweepd/api"
 	"latsim/internal/twin/validate"
@@ -102,12 +103,15 @@ type Service struct {
 
 // sessionKey identifies a shareable core.Session: jobs hash over
 // exactly these knobs (plus the per-job config), so sweeps that agree
-// on them dedup against each other.
+// on them dedup against each other. spanRate is the effective obs
+// span-tracing rate (0 when obs is off): two obs sweeps at different
+// rates record different data, so they must not share a session.
 type sessionKey struct {
-	scale core.Scale
-	seed  int64
-	obs   bool
-	check bool
+	scale    core.Scale
+	seed     int64
+	obs      bool
+	spanRate float64
+	check    bool
 }
 
 type sessionEntry struct {
@@ -295,7 +299,7 @@ func (s *Service) session(key sessionKey) *sessionEntry {
 	sess.Check = key.check
 	e := &sessionEntry{sess: sess}
 	if key.obs {
-		e.obs = &obs.Options{SpanRate: s.opts.ObsSpanRate}
+		e.obs = &obs.Options{SpanRate: key.spanRate}
 		sess.Obs = e.obs
 	}
 	s.sessions[key] = e
@@ -317,7 +321,20 @@ func (s *Service) Submit(spec *api.SweepSpec) (string, error) {
 	if spec.Experiment != "" && !knownExperiment(spec.Experiment) {
 		return "", fmt.Errorf("sweepd: unknown experiment %q", spec.Experiment)
 	}
-	sessEnt := s.session(sessionKey{scale: scale, seed: spec.Seed, obs: spec.Obs, check: spec.Check})
+	if spec.SpanRate != 0 && !spec.Obs {
+		return "", errors.New("sweepd: span_rate requires obs")
+	}
+	if err := config.ValidateSpanRate(spec.SpanRate); err != nil {
+		return "", err
+	}
+	var spanRate float64
+	if spec.Obs {
+		spanRate = spec.SpanRate
+		if spanRate == 0 {
+			spanRate = s.opts.ObsSpanRate
+		}
+	}
+	sessEnt := s.session(sessionKey{scale: scale, seed: spec.Seed, obs: spec.Obs, spanRate: spanRate, check: spec.Check})
 
 	sw := &sweep{
 		spec:  spec,
@@ -782,14 +799,95 @@ func (s *Service) WaitCollected(ctx context.Context) error {
 }
 
 // Report aggregates the sweep's per-job observability reports. Returns
-// nil when the sweep is unknown; an empty aggregate when it recorded
-// nothing.
-func (s *Service) Report(id string) *obs.SweepAggregate {
+// a nil aggregate when the sweep is unknown; an empty aggregate when it
+// recorded nothing. The error surfaces obs.Aggregate's refusals (e.g. a
+// sweep whose jobs sampled spans at different strides).
+func (s *Service) Report(id string) (*obs.SweepAggregate, error) {
+	reports, ok := s.obsReports(id)
+	if !ok {
+		return nil, nil
+	}
+	return obs.Aggregate(reports)
+}
+
+// Obs builds the dashboard's observability-pane document for a sweep:
+// the merged execution-time breakdown, stall waterfall and latency
+// statistics flattened to api types. Nil doc when the sweep is unknown.
+func (s *Service) Obs(id string) (*api.ObsDoc, error) {
+	agg, err := s.Report(id)
+	if err != nil || agg == nil {
+		return nil, err
+	}
+	doc := &api.ObsDoc{ID: id, Runs: agg.Runs, Elapsed: agg.Elapsed}
+	// Points normalize to total processor-cycles (elapsed × procs per
+	// run) so a sweep's buckets sum to ~100 like the paper's breakdowns.
+	denom := agg.ProcCycles
+	if denom == 0 {
+		denom = agg.Elapsed
+	}
+	for _, t := range agg.BucketCycles {
+		b := api.ObsBucket{Name: t.Name, Cycles: t.Total}
+		if denom > 0 {
+			b.Points = 100 * float64(t.Total) / float64(denom)
+		}
+		doc.Buckets = append(doc.Buckets, b)
+	}
+	for _, st := range agg.Stalls {
+		os := api.ObsStall{Bucket: st.Bucket, StallCycles: st.StallCycles}
+		var domCycles uint64
+		for _, seg := range st.Segments {
+			os.Segments = append(os.Segments, api.ObsSegment{Kind: seg.Kind, Attributed: seg.Attributed})
+			if seg.Attributed > domCycles {
+				domCycles = seg.Attributed
+				os.Dominant = seg.Kind
+			}
+		}
+		doc.Stalls = append(doc.Stalls, os)
+	}
+	for i := range agg.Hists {
+		h := &agg.Hists[i].Hist
+		doc.Hists = append(doc.Hists, api.ObsHist{
+			Name:  agg.Hists[i].Name,
+			Count: h.Count,
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	return doc, nil
+}
+
+// Diff compares sweep id's merged observability against sweep baseID's,
+// through the report-level diff engine. Nil when either sweep is
+// unknown.
+func (s *Service) Diff(baseID, id string) (*diff.Diff, error) {
+	base, err := s.Report(baseID)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", baseID, err)
+	}
+	cur, err := s.Report(id)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", id, err)
+	}
+	if base == nil || cur == nil {
+		return nil, nil
+	}
+	d := diff.Compare(base.AsReport(), cur.AsReport(), diff.Default())
+	if d != nil {
+		d.BaseLabel = "sweep " + baseID
+		d.NewLabel = "sweep " + id
+	}
+	return d, nil
+}
+
+// obsReports snapshots the sweep's finished per-job obs reports.
+func (s *Service) obsReports(id string) ([]*obs.Report, bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	sw, ok := s.sweeps[id]
 	if !ok {
-		s.mu.Unlock()
-		return nil
+		return nil, false
 	}
 	var reports []*obs.Report
 	for _, je := range sw.jobs {
@@ -797,8 +895,7 @@ func (s *Service) Report(id string) *obs.SweepAggregate {
 			reports = append(reports, je.res.Obs)
 		}
 	}
-	s.mu.Unlock()
-	return obs.Aggregate(reports)
+	return reports, true
 }
 
 // Stats snapshots the service and engine counters.

@@ -17,21 +17,41 @@ import (
 	"latsim/internal/core"
 	"latsim/internal/machine"
 	"latsim/internal/obs"
+	"latsim/internal/obs/diff"
+	"latsim/internal/obs/span"
 	"latsim/internal/runner"
 	"latsim/internal/sweepd/api"
 )
 
 // fakeExec returns a fast deterministic ExecFunc; execs counts real
-// executions.
+// executions. Obs-enabled jobs carry a small report whose stall
+// waterfall scales with the configured processor count, so sweeps over
+// different configurations produce genuinely different observability.
 func fakeExec(execs *atomic.Int64) runner.ExecFunc {
 	return func(ctx context.Context, j runner.Job) (*machine.Result, error) {
 		execs.Add(1)
 		res := &machine.Result{AppName: j.App, Cfg: j.Cfg, Elapsed: 1000}
 		if j.Obs != nil {
+			stall := 100 * uint64(j.Cfg.Procs)
+			every := uint64(1)
+			if j.Obs.SpanRate > 0 {
+				every = uint64(1/j.Obs.SpanRate + 0.5)
+			}
 			res.Obs = &obs.Report{
 				Elapsed: 1000,
+				Procs:   j.Cfg.Procs,
 				BucketCycles: []obs.NamedSeries{
 					{Name: "busy", Values: []uint64{40, 50}},
+				},
+				Spans: &span.Trace{Every: every, Seen: 100, Sampled: 100 / every},
+				Waterfall: &span.Waterfall{
+					Total: []span.BucketWaterfall{{
+						Bucket:      "read",
+						StallCycles: stall,
+						Segments:    []span.SegmentShare{{Kind: "network", Attributed: stall}},
+						Dominant:    "network",
+					}},
+					Inval: &span.InvalAccounting{Org: "full-map", Sent: 10},
 				},
 			}
 		}
@@ -465,6 +485,143 @@ func TestObsReport(t *testing.T) {
 	}
 	if len(agg.BucketCycles) != 1 || agg.BucketCycles[0].Total != 180 {
 		t.Fatalf("bucket totals: %+v", agg.BucketCycles)
+	}
+}
+
+// The /obs endpoint serves the dashboard's pane document: merged
+// breakdown, stall waterfall and latency stats, flattened to api types.
+func TestObsEndpoint(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 2, Exec: fakeExec(&execs)})
+	id := submit(t, ts.URL, `{"obs": true, "jobs": [{"app": "LU", "config": {"Procs": 4}}, {"app": "MP3D", "config": {"Procs": 4}}]}`)
+	if st := waitTerminal(t, ts.URL, id); st.State != api.StateDone {
+		t.Fatalf("sweep: %+v", st)
+	}
+	code, b := get(t, ts.URL+"/v1/sweeps/"+id+"/obs")
+	if code != http.StatusOK {
+		t.Fatalf("obs: %d %s", code, b)
+	}
+	var doc api.ObsDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != id || doc.Runs != 2 || doc.Elapsed != 2000 {
+		t.Fatalf("doc: %+v", doc)
+	}
+	if len(doc.Buckets) != 1 || doc.Buckets[0].Name != "busy" || doc.Buckets[0].Cycles != 180 {
+		t.Fatalf("buckets: %+v", doc.Buckets)
+	}
+	// Points normalize to elapsed × procs: 100×180/(2×1000×4).
+	if got := doc.Buckets[0].Points; got != 2.25 {
+		t.Fatalf("busy points = %v, want 2.25", got)
+	}
+	if len(doc.Stalls) != 1 || doc.Stalls[0].Bucket != "read" ||
+		doc.Stalls[0].StallCycles != 800 || doc.Stalls[0].Dominant != "network" {
+		t.Fatalf("stalls: %+v", doc.Stalls)
+	}
+
+	// A sweep without obs serves an empty pane, not an error.
+	plain := submit(t, ts.URL, `{"jobs": [{"app": "LU"}]}`)
+	waitTerminal(t, ts.URL, plain)
+	code, b = get(t, ts.URL+"/v1/sweeps/"+plain+"/obs")
+	if code != http.StatusOK {
+		t.Fatalf("plain obs: %d %s", code, b)
+	}
+	var empty api.ObsDoc
+	if err := json.Unmarshal(b, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Runs != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("plain sweep pane not empty: %+v", empty)
+	}
+}
+
+// The /diff endpoint judges one sweep's merged observability against
+// another's through the diff engine.
+func TestDiffEndpoint(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 2, Exec: fakeExec(&execs)})
+	a := submit(t, ts.URL, `{"obs": true, "jobs": [{"app": "LU", "config": {"Procs": 4}}]}`)
+	b1 := submit(t, ts.URL, `{"obs": true, "jobs": [{"app": "LU", "config": {"Procs": 8}}]}`)
+	waitTerminal(t, ts.URL, a)
+	waitTerminal(t, ts.URL, b1)
+
+	code, body := get(t, ts.URL+"/v1/sweeps/"+b1+"/diff?base="+a)
+	if code != http.StatusOK {
+		t.Fatalf("diff: %d %s", code, body)
+	}
+	var d diff.Diff
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	// The 8-proc sweep stalls twice as long: the read stall bucket must
+	// regress while the identical execution-time buckets stay identical.
+	if d.Verdict != diff.Regressed {
+		t.Fatalf("verdict %s, want regressed: %s", d.Verdict, body)
+	}
+	found := false
+	for _, r := range d.Regressions {
+		if r == "stall/read" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regressions %v do not name stall/read", d.Regressions)
+	}
+
+	// Self-diff is all-identical.
+	code, body = get(t, ts.URL+"/v1/sweeps/"+a+"/diff?base="+a)
+	if code != http.StatusOK {
+		t.Fatalf("self diff: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != diff.Identical {
+		t.Fatalf("self diff verdict %s: %s", d.Verdict, body)
+	}
+
+	// Error surface: missing base is 400, unknown sweeps are 404.
+	if code, _ = get(t, ts.URL+"/v1/sweeps/"+a+"/diff"); code != http.StatusBadRequest {
+		t.Fatalf("missing base: %d, want 400", code)
+	}
+	if code, _ = get(t, ts.URL+"/v1/sweeps/"+a+"/diff?base=s99"); code != http.StatusNotFound {
+		t.Fatalf("unknown base: %d, want 404", code)
+	}
+}
+
+// span_rate threads from the sweep spec into the session's obs options
+// (and therefore the job hash): sweeps at different rates must not
+// share cached results.
+func TestSpanRateThreading(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestService(t, Options{Workers: 2, Exec: fakeExec(&execs)})
+
+	a := submit(t, ts.URL, `{"obs": true, "jobs": [{"app": "LU"}]}`)
+	b := submit(t, ts.URL, `{"obs": true, "span_rate": 0.5, "jobs": [{"app": "LU"}]}`)
+	sta, stb := waitTerminal(t, ts.URL, a), waitTerminal(t, ts.URL, b)
+	if sta.Jobs[0].Key == stb.Jobs[0].Key {
+		t.Fatalf("same job key %s across span rates: rate not in the hash", sta.Jobs[0].Key)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (no cross-rate dedup)", got)
+	}
+	// Same explicit rate as another sweep dedups as usual.
+	c := submit(t, ts.URL, `{"obs": true, "span_rate": 0.5, "jobs": [{"app": "LU"}]}`)
+	stc := waitTerminal(t, ts.URL, c)
+	if stc.Jobs[0].Key != stb.Jobs[0].Key {
+		t.Fatalf("equal-rate sweeps hash differently: %s vs %s", stc.Jobs[0].Key, stb.Jobs[0].Key)
+	}
+
+	// Intake rejections: span_rate without obs, and out-of-range rates.
+	for _, bad := range []string{
+		`{"span_rate": 0.5, "jobs": [{"app": "LU"}]}`,
+		`{"obs": true, "span_rate": 1.5, "jobs": [{"app": "LU"}]}`,
+		`{"obs": true, "span_rate": -0.1, "jobs": [{"app": "LU"}]}`,
+	} {
+		if code, body := post(t, ts.URL+"/v1/sweeps", bad); code != http.StatusBadRequest {
+			t.Errorf("POST %s: %d %s, want 400", bad, code, body)
+		}
 	}
 }
 
