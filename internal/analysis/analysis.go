@@ -45,6 +45,11 @@ type Analyzer struct {
 	// Run reports diagnostics through the Pass. A non-nil error aborts
 	// the whole run (reserved for internal failures, not findings).
 	Run func(*Pass) error
+	// FactTypes lists prototype values of the Fact types this analyzer
+	// exports and imports. An analyzer with no FactTypes is purely
+	// intraprocedural; the driver only serializes facts for analyzers
+	// that declare them.
+	FactTypes []Fact
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -56,6 +61,7 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+	env   *factEnv
 }
 
 // Diagnostic is one finding, positioned in the file set it was found in.

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -32,6 +34,179 @@ func TestNilsafeGolden(t *testing.T) {
 func TestSimdetGolden(t *testing.T) {
 	runGolden(t, NewSimdet("latsim/internal/analysis/testdata/src/simdet/sched"),
 		"./testdata/src/simdet/sched")
+}
+
+// TestPartitionGolden exercises all three partition rules. The fixture
+// spans two packages: the helper's global write reaches the checked
+// package only through helper's exported FnEffects fact, so a matched
+// want on the call site doubles as the facts export/import round trip
+// across a package boundary.
+func TestPartitionGolden(t *testing.T) {
+	runGolden(t, NewPartition("latsim/internal/analysis/testdata/src/partition/node"),
+		"./testdata/src/partition/node")
+}
+
+// TestPartitionEmptyMarker pins the marker grammar: a suppression with
+// no reason is itself a diagnostic and suppresses nothing. (Direct
+// assertions, not want comments — the marker's own line cannot also
+// carry an expectation comment.)
+func TestPartitionEmptyMarker(t *testing.T) {
+	diags, err := Run("", []*Analyzer{NewPartition("latsim/internal/analysis/testdata/src/partition/empty")},
+		"./testdata/src/partition/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotEmpty, gotVar bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "marker requires a reason") {
+			gotEmpty = true
+		}
+		if strings.Contains(d.Message, "package-level var counter") {
+			gotVar = true
+		}
+	}
+	if !gotEmpty || !gotVar {
+		t.Fatalf("want an empty-marker diagnostic and an unsuppressed var diagnostic, got %v", diags)
+	}
+}
+
+func TestHookpureGolden(t *testing.T) {
+	runGolden(t, NewHookpure("latsim/internal/analysis/testdata/src/hookpure/hooks.Recorder"),
+		"./testdata/src/hookpure/hooks")
+}
+
+// TestSchemaverRegression drives the full fingerprint workflow: capture
+// a golden from variant a, verify a is clean against it, then verify
+// variant b — the same version constant over a renamed serialized field
+// — is caught, while its exempt-field change contributes nothing.
+func TestSchemaverRegression(t *testing.T) {
+	anchors := func(variant string) []SchemaAnchor {
+		pkg := "latsim/internal/analysis/testdata/src/schemaver/" + variant
+		return []SchemaAnchor{{
+			Pkg:   pkg,
+			Const: "SchemaVersion",
+			Key:   "store.SchemaVersion",
+			Roots: []string{pkg + ".Doc"},
+		}}
+	}
+	capture := map[string]SchemaRecord{}
+	diags, err := Run("", []*Analyzer{NewSchemaverConfig(anchors("a"), SchemaGolden{}, capture)},
+		"./testdata/src/schemaver/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("capture run reported: %v", diags)
+	}
+	rec, ok := capture["store.SchemaVersion"]
+	if !ok || rec.Version != 3 || rec.Fingerprint == "" {
+		t.Fatalf("capture = %+v", capture)
+	}
+	golden := SchemaGolden{Anchors: capture}
+
+	diags, err = Run("", []*Analyzer{NewSchemaverConfig(anchors("a"), golden, nil)},
+		"./testdata/src/schemaver/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unchanged shape must be clean against its own golden, got %v", diags)
+	}
+
+	runGolden(t, NewSchemaverConfig(anchors("b"), golden, nil), "./testdata/src/schemaver/b")
+}
+
+// TestFactsDocRoundTrip pins the .vetx document encoding: object and
+// package facts of several analyzers survive serialization with their
+// analyzer namespaces and origin packages intact.
+func TestFactsDocRoundTrip(t *testing.T) {
+	pf := newPkgFacts()
+	eff := &FnEffects{
+		Allocs:       []EffectSite{{Pos: "x.go:3", What: "append"}},
+		MutRecv:      true,
+		EscapeParams: []int{1},
+	}
+	if err := pf.set("hookpure", "Recorder.Tick", eff); err != nil {
+		t.Fatal(err)
+	}
+	shapes := &SchemaShapes{Types: map[string]TypeShape{
+		"Doc": {Display: "store.Doc", Fields: []FieldShape{{Name: "ID", Type: "int"}}},
+	}}
+	if err := pf.set("schemaver", "", shapes); err != nil {
+		t.Fatal(err)
+	}
+	doc := newFactsDoc()
+	doc.Packages["latsim/internal/obs"] = pf
+
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeFactsDoc(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotEff FnEffects
+	if !got.Packages["latsim/internal/obs"].get("hookpure", "Recorder.Tick", &gotEff) {
+		t.Fatal("object fact lost in round trip")
+	}
+	if !reflect.DeepEqual(&gotEff, eff) {
+		t.Fatalf("object fact round trip: got %+v want %+v", gotEff, *eff)
+	}
+	var gotShapes SchemaShapes
+	if !got.Packages["latsim/internal/obs"].get("schemaver", "", &gotShapes) {
+		t.Fatal("package fact lost in round trip")
+	}
+	if !reflect.DeepEqual(&gotShapes, shapes) {
+		t.Fatalf("package fact round trip: got %+v want %+v", gotShapes, *shapes)
+	}
+	// An empty document must decode, and a wrong schema must not.
+	if _, err := decodeFactsDoc(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeFactsDoc([]byte(`{"schema":999}`)); err == nil {
+		t.Fatal("wrong-schema document decoded silently")
+	}
+}
+
+// TestRunnerCache verifies the per-package result cache: a second run
+// over unchanged sources serves every package from the sidecar files
+// and reproduces the first run's diagnostics exactly.
+func TestRunnerCache(t *testing.T) {
+	r := &Runner{
+		Analyzers: []*Analyzer{NewPartition("latsim/internal/analysis/testdata/src/partition/node")},
+		CacheDir:  t.TempDir(),
+		Salt:      "test",
+	}
+	cold, coldStats, err := r.Run("./testdata/src/partition/node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Analyzed != coldStats.Packages || coldStats.Cached != 0 {
+		t.Fatalf("cold run stats = %+v", coldStats)
+	}
+	warm, warmStats, err := r.Run("./testdata/src/partition/node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Cached != warmStats.Packages || warmStats.Analyzed != 0 {
+		t.Fatalf("warm run stats = %+v", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached diagnostics differ:\ncold: %v\nwarm: %v", cold, warm)
+	}
+	if len(cold) == 0 {
+		t.Fatal("fixture should produce diagnostics")
+	}
+	// A different salt (a rebuilt tool) must invalidate everything.
+	r.Salt = "rebuilt"
+	_, saltStats, err := r.Run("./testdata/src/partition/node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saltStats.Cached != 0 {
+		t.Fatalf("salted run stats = %+v", saltStats)
+	}
 }
 
 // TestSuiteCleanOnTree is the live gate: the production suite must

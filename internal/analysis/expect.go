@@ -25,6 +25,11 @@ type expectation struct {
 // fixtures' `// want` comments, and returns one error string per
 // mismatch: a diagnostic with no matching want, or a want with no
 // matching diagnostic. An empty result means the fixture is golden.
+//
+// Dependencies of the matched packages are analyzed for facts (so
+// multi-package fixtures exercise the interprocedural path exactly like
+// the production driver) but contribute neither wants nor diagnostics;
+// list every package whose findings matter as a pattern.
 func CheckExpectations(dir string, analyzers []*Analyzer, patterns ...string) ([]string, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
@@ -32,8 +37,15 @@ func CheckExpectations(dir string, analyzers []*Analyzer, patterns ...string) ([
 	}
 	var problems []string
 	var wants []*expectation
-	var diags []Diagnostic
+	r := &Runner{Dir: dir, Analyzers: analyzers}
+	diags, _, _, err := r.runLoaded(pkgs)
+	if err != nil {
+		return nil, err
+	}
 	for _, pkg := range pkgs {
+		if pkg.Dep {
+			continue
+		}
 		for _, file := range pkg.Files {
 			ws, err := parseWants(pkg.Fset, file)
 			if err != nil {
@@ -41,13 +53,7 @@ func CheckExpectations(dir string, analyzers []*Analyzer, patterns ...string) ([
 			}
 			wants = append(wants, ws...)
 		}
-		ds, err := RunPackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		diags = append(diags, ds...)
 	}
-	Sort(diags)
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

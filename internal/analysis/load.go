@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -25,6 +27,17 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Dep marks a package loaded only because a target imports it: the
+	// driver analyzes it for facts but does not report its diagnostics.
+	Dep bool
+	// Imports lists the in-module packages this package imports (paths
+	// into the loaded set), for dependency-order scheduling.
+	Imports []string
+	// ExportHash identifies this package's build: a digest of its gc
+	// export data, its source bytes and its dependencies' hashes. It
+	// keys the facts sidecar and the per-package diagnostic cache.
+	ExportHash string
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -44,11 +57,16 @@ type listPkg struct {
 }
 
 // Load resolves the package patterns with the go command, parses the
-// matched packages from source, and type-checks them against the export
-// data of their dependencies (`go list -export` compiles dependencies
-// into the build cache, so loading works offline and needs no
-// third-party loader). Test files are not loaded: the analyzers target
-// model code, and `go vet -vettool` covers test variants separately.
+// matched packages — and every in-module package they depend on — from
+// source, and type-checks them against the export data of their
+// dependencies (`go list -export` compiles dependencies into the build
+// cache, so loading works offline and needs no third-party loader).
+// The result is in dependency order: every package appears after all of
+// its in-module imports, so a driver walking the slice forward always
+// has dependency facts before it needs them. Packages loaded only as
+// dependencies are marked Dep. Test files are not loaded: the analyzers
+// target model code, and `go vet -vettool` covers test variants
+// separately.
 //
 // dir is the directory patterns are resolved from ("" = current).
 func Load(dir string, patterns ...string) ([]*Package, error) {
@@ -66,7 +84,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	exports := map[string]string{} // import path -> export data file
-	var targets []*listPkg
+	var loadable []*listPkg
+	inSet := map[string]bool{}
 	goVersion := ""
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -79,25 +98,32 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if p.DepOnly {
+		if p.Standard {
 			continue
 		}
 		if p.Error != nil {
+			if p.DepOnly {
+				continue
+			}
 			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if len(p.CgoFiles) > 0 {
+			if p.DepOnly {
+				continue
+			}
 			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", p.ImportPath)
 		}
 		if p.Name == "" || len(p.GoFiles) == 0 {
 			continue // empty directory matched by a wildcard
 		}
 		q := p
-		targets = append(targets, &q)
+		loadable = append(loadable, &q)
+		inSet[p.ImportPath] = true
 		if goVersion == "" && p.Module != nil && p.Module.GoVersion != "" {
 			goVersion = "go" + p.Module.GoVersion
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	sort.Slice(loadable, func(i, j int) bool { return loadable[i].ImportPath < loadable[j].ImportPath })
 
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -111,11 +137,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	// by other targets) loads once from its export data.
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
+	byPath := map[string]*Package{}
 	var pkgs []*Package
-	for _, t := range targets {
+	for _, t := range loadable {
 		var files []*ast.File
+		srcHash := sha256.New()
 		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			full := filepath.Join(t.Dir, name)
+			src, err := os.ReadFile(full)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			srcHash.Write([]byte(name))
+			srcHash.Write(src)
+			f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %v", err)
 			}
@@ -136,16 +171,94 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: type-checking %s: %v", t.ImportPath, err)
 		}
-		pkgs = append(pkgs, &Package{
-			Path:  t.ImportPath,
-			Dir:   t.Dir,
-			Fset:  fset,
-			Files: files,
-			Pkg:   pkg,
-			Info:  info,
-		})
+		var imports []string
+		for _, ip := range t.Imports {
+			if mapped, ok := t.ImportMap[ip]; ok {
+				ip = mapped
+			}
+			if inSet[ip] {
+				imports = append(imports, ip)
+			}
+		}
+		sort.Strings(imports)
+		lp := &Package{
+			Path:    t.ImportPath,
+			Dir:     t.Dir,
+			Fset:    fset,
+			Files:   files,
+			Pkg:     pkg,
+			Info:    info,
+			Dep:     t.DepOnly,
+			Imports: imports,
+		}
+		lp.ExportHash = packageHash(exports[t.ImportPath], hex.EncodeToString(srcHash.Sum(nil)))
+		byPath[t.ImportPath] = lp
+		pkgs = append(pkgs, lp)
 	}
-	return pkgs, nil
+
+	ordered, err := topoSort(pkgs, byPath)
+	if err != nil {
+		return nil, err
+	}
+	// Fold dependency hashes in, in dependency order, so a change in a
+	// dependency's build invalidates every dependent's key too.
+	for _, p := range ordered {
+		h := sha256.New()
+		h.Write([]byte(p.ExportHash))
+		for _, ip := range p.Imports {
+			h.Write([]byte(byPath[ip].ExportHash))
+		}
+		p.ExportHash = hex.EncodeToString(h.Sum(nil))
+	}
+	return ordered, nil
+}
+
+// packageHash digests a package's gc export data file and source bytes.
+// The export data alone is not enough: gc only exports what dependents
+// can see (plus inlinable bodies), so a non-inlined function-body change
+// would otherwise slip past the cache.
+func packageHash(exportFile, srcDigest string) string {
+	h := sha256.New()
+	h.Write([]byte(srcDigest))
+	if exportFile != "" {
+		if data, err := os.ReadFile(exportFile); err == nil {
+			h.Write(data)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// topoSort orders packages so every package follows its in-set imports.
+// Ties break by import path for determinism.
+func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	ordered := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", p.Path)
+		case 2:
+			return nil
+		}
+		state[p.Path] = 1
+		for _, ip := range p.Imports {
+			if dep := byPath[ip]; dep != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
 }
 
 // importMapper resolves source-level import paths through a package's

@@ -19,11 +19,23 @@ var DefaultNilsafeTypes = []string{
 	"latsim/internal/obs/diff.Diff",
 }
 
+// UnguardedDeref is nilsafe's exported fact: the method dereferences
+// its receiver without an initial nil guard. Calling it on a possibly
+// nil receiver is therefore as unsafe as a direct field access, and the
+// caller must guard first — including callers in other packages, who
+// learn this through the fact rather than the body.
+type UnguardedDeref struct{}
+
+// AFact marks UnguardedDeref as a fact type.
+func (*UnguardedDeref) AFact() {}
+
 // NewNilsafe returns the nilsafe analyzer for the given fully qualified
 // type names ("pkgpath.TypeName"). Every exported pointer-receiver
 // method on a listed type must begin with a receiver nil check before it
-// reads or writes any receiver field; methods that never touch the
-// receiver's fields need no guard.
+// reads or writes any receiver field — or calls another method that
+// itself dereferences the receiver unguarded (known interprocedurally
+// via the UnguardedDeref fact); methods that never touch the receiver's
+// fields need no guard.
 func NewNilsafe(typeNames ...string) *Analyzer {
 	if len(typeNames) == 0 {
 		typeNames = DefaultNilsafeTypes
@@ -33,26 +45,55 @@ func NewNilsafe(typeNames ...string) *Analyzer {
 		guarded[t] = true
 	}
 	a := &Analyzer{
-		Name: "nilsafe",
-		Doc:  "check that exported methods on nil-guarded hook types test the receiver before any field access",
+		Name:      "nilsafe",
+		Doc:       "check that exported methods on nil-guarded hook types test the receiver before any field access",
+		FactTypes: []Fact{(*UnguardedDeref)(nil)},
 	}
 	a.Run = func(pass *Pass) error {
-		for _, file := range pass.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
-					continue
+		// First pass: every method (exported or not) on a guarded type
+		// that dereferences its receiver without a guard, published as a
+		// fact so callers anywhere treat the call like a field access.
+		unguarded := map[types.Object]bool{}
+		forEachGuardedMethod(pass, guarded, func(fn *ast.FuncDecl, recvObj types.Object, typeName string) {
+			for _, stmt := range fn.Body.List {
+				if isNilGuard(pass, stmt, recvObj) {
+					return
 				}
-				recvObj, typeName := receiverInfo(pass, fn)
-				if recvObj == nil || !guarded[typeName] {
-					continue
+				if findFieldAccess(pass, stmt, recvObj) != nil {
+					obj := pass.Info.Defs[fn.Name]
+					unguarded[obj] = true
+					pass.ExportObjectFact(obj, &UnguardedDeref{})
+					return
 				}
-				checkNilGuard(pass, fn, recvObj, typeName)
 			}
-		}
+		})
+		// Second pass: exported methods must guard before any unsafe use.
+		forEachGuardedMethod(pass, guarded, func(fn *ast.FuncDecl, recvObj types.Object, typeName string) {
+			if fn.Name.IsExported() {
+				checkNilGuard(pass, fn, recvObj, typeName, unguarded)
+			}
+		})
 		return nil
 	}
 	return a
+}
+
+// forEachGuardedMethod applies f to every method with a body whose
+// pointer receiver names a guarded type.
+func forEachGuardedMethod(pass *Pass, guarded map[string]bool, f func(*ast.FuncDecl, types.Object, string)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			recvObj, typeName := receiverInfo(pass, fn)
+			if recvObj == nil || !guarded[typeName] {
+				continue
+			}
+			f(fn, recvObj, typeName)
+		}
+	}
 }
 
 // receiverInfo resolves a method's receiver object and the fully
@@ -78,9 +119,10 @@ func receiverInfo(pass *Pass, fn *ast.FuncDecl) (types.Object, string) {
 }
 
 // checkNilGuard walks the method body statement by statement: a field
-// access (or dereference) of the receiver before a top-level
+// access (or dereference) of the receiver — or a call to a method known
+// to dereference it unguarded — before a top-level
 // `if recv == nil { return ... }` guard is a violation.
-func checkNilGuard(pass *Pass, fn *ast.FuncDecl, recv types.Object, typeName string) {
+func checkNilGuard(pass *Pass, fn *ast.FuncDecl, recv types.Object, typeName string, unguarded map[types.Object]bool) {
 	for _, stmt := range fn.Body.List {
 		if isNilGuard(pass, stmt, recv) {
 			return // everything below is protected
@@ -91,7 +133,49 @@ func checkNilGuard(pass *Pass, fn *ast.FuncDecl, recv types.Object, typeName str
 				typeName, fn.Name.Name, recv.Name(), recv.Name())
 			return // one report per method
 		}
+		if bad, callee := findUnguardedCall(pass, stmt, recv, unguarded); bad != nil {
+			pass.Reportf(bad.Pos(),
+				"%s.%s calls %s, which dereferences the receiver without its own nil guard, before the nil guard; guard %s first (zero-perturbation contract)",
+				typeName, fn.Name.Name, callee, recv.Name())
+			return
+		}
 	}
+}
+
+// findUnguardedCall returns the first call `recv.m(...)` in stmt whose
+// target method dereferences the receiver without a guard — known from
+// this package's first pass or, cross-package, from an imported
+// UnguardedDeref fact.
+func findUnguardedCall(pass *Pass, stmt ast.Stmt, recv types.Object, unguarded map[types.Object]bool) (ast.Node, string) {
+	var bad ast.Node
+	var name string
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != recv {
+			return true
+		}
+		callee, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		if unguarded[callee] || pass.ImportObjectFact(callee, &UnguardedDeref{}) {
+			bad = call
+			name = callee.Name()
+		}
+		return true
+	})
+	return bad, name
 }
 
 // isNilGuard matches `if recv == nil { ...; return }` (the guarded body

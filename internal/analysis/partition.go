@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DefaultPartitionPackages are the event-scheduled packages a future
+// Chandy–Misra-style parallel kernel (ROADMAP item 2) would partition
+// across workers: every piece of state in them must be ownable by one
+// node, or explicitly declared shared.
+var DefaultPartitionPackages = []string{
+	"latsim/internal/sim",
+	"latsim/internal/memsys",
+	"latsim/internal/msync",
+	"latsim/internal/cpu",
+}
+
+// SharedMarker is the justification comment declaring a piece of state
+// deliberately shared across nodes: `//parallel:shared <reason>`.
+const SharedMarker = "//parallel:shared"
+
+// NewPartition returns the partition analyzer restricted to the given
+// package paths (DefaultPartitionPackages when empty). It flags the
+// three constructs that block partitioning the event kernel:
+//
+//   - package-level mutable state: a `var` at package scope is shared
+//     by every node in the process, so it either needs synchronization
+//     or a //parallel:shared justification (read-only tables, process
+//     singletons);
+//   - cross-node aggregates: a struct field holding a slice, array or
+//     map of pointers to kernel-rooted types (types carrying their own
+//     *sim.Kernel) spans nodes by construction and cannot migrate with
+//     any single one of them;
+//   - unsynchronized writes to package-level state reachable from
+//     event-scheduled code — including, via exported FnEffects facts,
+//     calls into other packages' functions that write their globals.
+//
+// Every suppression marker must carry a reason; an empty reason is
+// itself a diagnostic. Test files are exempt.
+func NewPartition(pkgPaths ...string) *Analyzer {
+	if len(pkgPaths) == 0 {
+		pkgPaths = DefaultPartitionPackages
+	}
+	in := map[string]bool{}
+	for _, p := range pkgPaths {
+		in[p] = true
+	}
+	a := &Analyzer{
+		Name:      "partition",
+		Doc:       "flag package-level mutable state, cross-node pointer aggregates and unsynchronized global writes in event-scheduled packages",
+		FactTypes: []Fact{(*FnEffects)(nil)},
+	}
+	a.Run = func(pass *Pass) error {
+		// Every package exports effects facts so partition packages can
+		// see global writes hiding behind cross-package calls.
+		ec := newEffectsComputer(pass, DefaultModelPackages, nil)
+		ec.exportAll()
+		if !in[basePkgPath(pass.Pkg.Path())] {
+			return nil
+		}
+		marks := reportEmptyMarkers(pass, SharedMarker)
+		for _, file := range pass.Files {
+			if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					switch d.Tok {
+					case token.VAR:
+						checkPackageVars(pass, d, marks)
+					case token.TYPE:
+						checkCrossNodeFields(pass, d, marks)
+					}
+				case *ast.FuncDecl:
+					if d.Body == nil || d.Name.Name == "init" {
+						continue // init runs before any event is scheduled
+					}
+					checkPartitionWrites(pass, ec, d, marks)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkPackageVars flags every package-level var declaration without a
+// //parallel:shared justification.
+func checkPackageVars(pass *Pass, d *ast.GenDecl, marks map[string]map[int]markerAt) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if suppressed(marks, pass.Fset, vs.Pos()) {
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"package-level var %s is process-wide mutable state; a partitioned kernel cannot own it per node — synchronize it or annotate %s <why>",
+				name.Name, SharedMarker)
+		}
+	}
+}
+
+// checkCrossNodeFields flags struct fields that aggregate pointers to
+// kernel-rooted types: such a field references state owned by other
+// nodes, so the enclosing struct cannot migrate with any one node.
+func checkCrossNodeFields(pass *Pass, d *ast.GenDecl, marks map[string]map[int]markerAt) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			t := pass.TypeOf(field.Type)
+			rooted, kind := crossNodeAggregate(t)
+			if rooted == "" {
+				continue
+			}
+			if suppressed(marks, pass.Fset, field.Pos()) {
+				continue
+			}
+			name := "embedded"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			pass.Reportf(field.Pos(),
+				"field %s.%s is a %s of pointers to kernel-rooted %s: it captures other nodes' state, which a partitioned kernel cannot keep node-local — annotate %s <sharing rationale>",
+				ts.Name.Name, name, kind, rooted, SharedMarker)
+		}
+	}
+}
+
+// crossNodeAggregate reports whether t is a slice/array/map whose
+// elements (or keys) point to a kernel-rooted type, returning that
+// type's name and the aggregate kind.
+func crossNodeAggregate(t types.Type) (rooted, kind string) {
+	if t == nil {
+		return "", ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if n := kernelRootedPointee(u.Elem()); n != "" {
+			return n, "slice"
+		}
+	case *types.Array:
+		if n := kernelRootedPointee(u.Elem()); n != "" {
+			return n, "array"
+		}
+	case *types.Map:
+		if n := kernelRootedPointee(u.Elem()); n != "" {
+			return n, "map"
+		}
+		if n := kernelRootedPointee(u.Key()); n != "" {
+			return n, "map"
+		}
+	}
+	return "", ""
+}
+
+// kernelRootedPointee returns the type name if t is a pointer to a
+// kernel-rooted named type ("" otherwise).
+func kernelRootedPointee(t types.Type) string {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	if isKernelRooted(named) {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isKernelRooted reports whether a named type is rooted in one node's
+// event kernel: sim.Kernel itself, or a struct with a direct
+// *sim.Kernel field. Rooted types are the units of partition ownership.
+func isKernelRooted(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if basePkgPath(obj.Pkg().Path()) == poolPkgPath && (obj.Name() == "Kernel" || obj.Name() == "Resource") {
+		return true
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft, ok := st.Field(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		fn, ok := ft.Elem().(*types.Named)
+		if !ok || fn.Obj().Pkg() == nil {
+			continue
+		}
+		if basePkgPath(fn.Obj().Pkg().Path()) == poolPkgPath && fn.Obj().Name() == "Kernel" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPartitionWrites flags unsynchronized writes to package-level
+// state from event-scheduled code: direct assignments to globals, and —
+// through imported FnEffects facts — calls into functions of other
+// packages that write *their* globals.
+func checkPartitionWrites(pass *Pass, ec *effectsComputer, fn *ast.FuncDecl, marks map[string]map[int]markerAt) {
+	recv, params := funcBindings(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				reportGlobalWrite(pass, ec, lhs, recv, params, marks)
+			}
+		case *ast.IncDecStmt:
+			reportGlobalWrite(pass, ec, x.X, recv, params, marks)
+		case *ast.CallExpr:
+			reportFactGlobalWrite(pass, x, marks)
+		}
+		return true
+	})
+}
+
+func reportGlobalWrite(pass *Pass, ec *effectsComputer, lhs ast.Expr, recv types.Object, params map[types.Object]int, marks map[string]map[int]markerAt) {
+	kind, _, obj := ec.classify(lhs, recv, params)
+	if kind != tGlobal {
+		return
+	}
+	if suppressed(marks, pass.Fset, lhs.Pos()) {
+		return
+	}
+	// A //parallel:shared on the variable's declaration covers its
+	// writes too: the declared rationale owns the synchronization story.
+	if obj != nil && suppressed(marks, pass.Fset, obj.Pos()) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"unsynchronized write to package-level %s from event-scheduled code; nodes of a partitioned kernel would race here — annotate %s <why> at the write or the declaration",
+		rootName(lhs), SharedMarker)
+}
+
+// reportFactGlobalWrite flags calls whose callee (per its exported
+// FnEffects fact) writes package-level state in its own package.
+func reportFactGlobalWrite(pass *Pass, call *ast.CallExpr, marks map[string]map[int]markerAt) {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return // same-package writes are reported at their own site
+	}
+	var fe FnEffects
+	if !pass.ImportObjectFact(fn, &fe) || len(fe.GlobalWrites) == 0 {
+		return
+	}
+	if suppressed(marks, pass.Fset, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s writes package-level state (%s at %s); unsafe from a partitioned kernel — annotate %s <why> if the callee synchronizes",
+		calleeName(fn), fe.GlobalWrites[0].What, fe.GlobalWrites[0].Pos, SharedMarker)
+}

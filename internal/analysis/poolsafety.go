@@ -13,6 +13,18 @@ import (
 // tracks.
 const poolPkgPath = "latsim/internal/sim"
 
+// Escapes is poolsafety's exported fact: the parameter indices a
+// function stores into a location that outlives the call (a field, an
+// element, a global, or an escaping callee). A caller that passes a
+// pooled pointer through such a parameter has effectively stored it,
+// and must not Put the object while the store stands.
+type Escapes struct {
+	Params []int `json:"params"`
+}
+
+// AFact marks Escapes as a fact type.
+func (*Escapes) AFact() {}
+
 // NewPoolsafety returns the poolsafety analyzer: misuse of sim.Pool[T]
 // objects. The pool contract (see sim.Pool) is LIFO recycling with no
 // poisoning, so every violation silently aliases live state:
@@ -30,10 +42,13 @@ const poolPkgPath = "latsim/internal/sim"
 // the violations on purpose to pin down what misuse does.
 func NewPoolsafety() *Analyzer {
 	a := &Analyzer{
-		Name: "poolsafety",
-		Doc:  "check sim.Pool objects for use-after-Put, double-Put and stores that outlive Put",
+		Name:      "poolsafety",
+		Doc:       "check sim.Pool objects for use-after-Put, double-Put and stores that outlive Put",
+		FactTypes: []Fact{(*Escapes)(nil)},
 	}
 	a.Run = func(pass *Pass) error {
+		ec := newEffectsComputer(pass, nil, nil)
+		exportEscapes(pass, ec)
 		for _, file := range pass.Files {
 			if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
 				continue
@@ -42,7 +57,7 @@ func NewPoolsafety() *Analyzer {
 				switch fn := n.(type) {
 				case *ast.FuncDecl:
 					if fn.Body != nil {
-						ps := &poolState{pass: pass}
+						ps := &poolState{pass: pass, ec: ec}
 						ps.block(fn.Body.List, newPoolFlow())
 					}
 					return false // nested FuncLits are walked inside block
@@ -53,6 +68,21 @@ func NewPoolsafety() *Analyzer {
 		return nil
 	}
 	return a
+}
+
+// exportEscapes publishes an Escapes fact for every function whose
+// pointer parameters it stores beyond the call, in declaration order.
+func exportEscapes(pass *Pass, ec *effectsComputer) {
+	objs := make([]types.Object, 0, len(ec.decls))
+	for obj := range ec.decls {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		if e := ec.of(obj); len(e.escapeParams) > 0 {
+			pass.ExportObjectFact(obj, &Escapes{Params: sortedKeys(e.escapeParams)})
+		}
+	}
 }
 
 // isPoolType reports whether t is sim.Pool[T] or *sim.Pool[T].
@@ -125,6 +155,63 @@ func (f *poolFlow) merge(g *poolFlow) {
 
 type poolState struct {
 	pass *Pass
+	ec   *effectsComputer
+}
+
+// recordEscapes scans e for calls that let a pooled pointer argument
+// escape, per the callee's Escapes fact (imported for other packages,
+// computed directly for this one), and records each as a live store:
+// Put while the store stands is then reported by the existing logic.
+func (ps *poolState) recordEscapes(e ast.Expr, f *poolFlow) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := ps.pass.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		var escapes []int
+		if fn.Pkg() == ps.pass.Pkg {
+			if obj := ps.pass.Info.Uses[id]; obj != nil {
+				escapes = sortedKeys(ps.ec.of(obj).escapeParams)
+			}
+		} else {
+			var fact Escapes
+			if ps.pass.ImportObjectFact(fn, &fact) {
+				escapes = fact.Params
+			}
+		}
+		for _, pi := range escapes {
+			if pi >= len(call.Args) {
+				continue
+			}
+			obj := ps.pooledIdent(call.Args[pi])
+			if obj == nil {
+				continue
+			}
+			m := f.stores[obj]
+			if m == nil {
+				m = map[string]token.Pos{}
+				f.stores[obj] = m
+			}
+			m["a location kept by "+calleeName(fn)] = call.Pos()
+		}
+		return true
+	})
 }
 
 // block runs the flow over a statement list, mutating and returning f.
@@ -160,12 +247,14 @@ func (ps *poolState) stmt(stmt ast.Stmt, f *poolFlow) {
 			return
 		}
 		ps.checkUses(s.X, f)
+		ps.recordEscapes(s.X, f)
 		if isTerminalCall(s.X) {
 			f.terminated = true
 		}
 	case *ast.AssignStmt:
 		for _, rhs := range s.Rhs {
 			ps.checkUses(rhs, f)
+			ps.recordEscapes(rhs, f)
 		}
 		for i, lhs := range s.Lhs {
 			ps.assign(lhs, rhsFor(s.Rhs, i), f)

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SchemaAnchor ties a version constant to the serialized types it
+// covers: when the shape of any root (or any in-module struct reachable
+// from one) changes, the constant must be bumped, because persisted
+// documents keyed on the old version no longer decode compatibly.
+type SchemaAnchor struct {
+	// Pkg is the package declaring the version constant.
+	Pkg string
+	// Const is the constant's name in that package.
+	Const string
+	// Key names the anchor in the committed golden ("runner.SchemaVersion").
+	Key string
+	// Roots are the fully qualified struct types ("pkgpath.Type") whose
+	// reachable shape the fingerprint covers.
+	Roots []string
+}
+
+// DefaultSchemaAnchors cover the repo's cache-serialized documents: the
+// runner's result cache (runner.Job keys it, machine.Result fills it)
+// and the observability report embedded in cached run outputs.
+var DefaultSchemaAnchors = []SchemaAnchor{
+	{
+		Pkg:   "latsim/internal/runner",
+		Const: "SchemaVersion",
+		Key:   "runner.SchemaVersion",
+		Roots: []string{"latsim/internal/runner.Job", "latsim/internal/machine.Result"},
+	},
+	{
+		Pkg:   "latsim/internal/obs",
+		Const: "ReportSchema",
+		Key:   "obs.ReportSchema",
+		Roots: []string{"latsim/internal/obs.Report"},
+	},
+}
+
+// ExemptMarker excludes a struct field from the schema fingerprint:
+// `//schemaver:exempt <reason>` (a field that never serializes, e.g.
+// one excluded by encoding tags). The exemption travels inside the
+// exported SchemaShapes fact, so it works across packages even though
+// dependents never see the comment.
+const ExemptMarker = "//schemaver:exempt"
+
+// SchemaShapes is the package fact carrying the shapes of every struct
+// type a package declares, with exempt fields already removed.
+type SchemaShapes struct {
+	Types map[string]TypeShape `json:"types"`
+}
+
+// AFact marks SchemaShapes as a fact type.
+func (*SchemaShapes) AFact() {}
+
+// TypeShape is one struct's serialized surface.
+type TypeShape struct {
+	// Display is the package-name-qualified type name used in the
+	// canonical fingerprint text ("machine.Result").
+	Display string `json:"display"`
+	// Fields lists the struct's fields in declaration order.
+	Fields []FieldShape `json:"fields"`
+}
+
+// FieldShape is one field of a serialized struct.
+type FieldShape struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Tag  string `json:"tag,omitempty"`
+	// Refs lists fully qualified in-module struct types this field's
+	// type reaches, for the fingerprint's reachability walk.
+	Refs []string `json:"refs,omitempty"`
+}
+
+// SchemaGolden is the committed fingerprint file.
+type SchemaGolden struct {
+	Anchors map[string]SchemaRecord `json:"anchors"`
+}
+
+// SchemaRecord pins one anchor's version constant and shape fingerprint.
+type SchemaRecord struct {
+	Version     int64  `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// schemaverGoldenJSON is the committed golden, embedded so the analyzer
+// works from any working directory (including `go vet -vettool` runs).
+// Regenerate with `latsimvet -schemaver-update`.
+//
+//go:embed schemaver_golden.json
+var schemaverGoldenJSON []byte
+
+// SchemaverGoldenPath is where -schemaver-update writes, relative to
+// the module root.
+const SchemaverGoldenPath = "internal/analysis/schemaver_golden.json"
+
+// NewSchemaver returns the production schemaver analyzer: every
+// cache-serialized type's shape is fingerprinted against the committed
+// golden, and a shape change without the matching version-constant bump
+// fails the lint.
+func NewSchemaver() *Analyzer {
+	var golden SchemaGolden
+	if err := json.Unmarshal(schemaverGoldenJSON, &golden); err != nil {
+		golden = SchemaGolden{}
+	}
+	return NewSchemaverConfig(DefaultSchemaAnchors, golden, nil)
+}
+
+// NewSchemaverCapture returns a schemaver variant that records each
+// anchor's current version and fingerprint into capture instead of
+// comparing — the `-schemaver-update` half of the workflow.
+func NewSchemaverCapture(capture map[string]SchemaRecord) *Analyzer {
+	return NewSchemaverConfig(DefaultSchemaAnchors, SchemaGolden{}, capture)
+}
+
+// NewSchemaverConfig builds a schemaver analyzer from an explicit
+// anchor table and golden (fixtures use their own). When capture is
+// non-nil the analyzer records instead of comparing.
+func NewSchemaverConfig(anchors []SchemaAnchor, golden SchemaGolden, capture map[string]SchemaRecord) *Analyzer {
+	a := &Analyzer{
+		Name:      "schemaver",
+		Doc:       "fingerprint cache-serialized struct shapes and require a schema-version bump when they change",
+		FactTypes: []Fact{(*SchemaShapes)(nil)},
+	}
+	a.Run = func(pass *Pass) error {
+		marks := reportEmptyMarkers(pass, ExemptMarker)
+		shapes := computeShapes(pass, marks)
+		pass.ExportPackageFact(&SchemaShapes{Types: shapes})
+		for _, anc := range anchors {
+			if anc.Pkg != basePkgPath(pass.Pkg.Path()) {
+				continue
+			}
+			obj := pass.Pkg.Scope().Lookup(anc.Const)
+			cobj, ok := obj.(*types.Const)
+			if !ok {
+				pass.Reportf(pass.Files[0].Pos(),
+					"schema anchor constant %s.%s not found", anc.Pkg, anc.Const)
+				continue
+			}
+			ver, _ := constant.Int64Val(constant.ToInt(cobj.Val()))
+			fp := schemaFingerprint(pass, anc.Roots, shapes)
+			if capture != nil {
+				capture[anc.Key] = SchemaRecord{Version: ver, Fingerprint: fp}
+				continue
+			}
+			rec, ok := golden.Anchors[anc.Key]
+			switch {
+			case !ok:
+				pass.Reportf(cobj.Pos(),
+					"no committed schema fingerprint for %s; run `latsimvet -schemaver-update` and commit %s",
+					anc.Key, SchemaverGoldenPath)
+			case fp != rec.Fingerprint && ver == rec.Version:
+				pass.Reportf(cobj.Pos(),
+					"serialized schema reachable from %s changed (fingerprint %s, committed %s) without a version bump; stale cached documents would decode against the new shape — bump %s and run `latsimvet -schemaver-update`",
+					anc.Key, fp, rec.Fingerprint, anc.Const)
+			case fp != rec.Fingerprint:
+				pass.Reportf(cobj.Pos(),
+					"schema golden is stale for %s (version bumped to %d); run `latsimvet -schemaver-update` to commit fingerprint %s",
+					anc.Key, ver, fp)
+			case ver != rec.Version:
+				pass.Reportf(cobj.Pos(),
+					"%s bumped to %d but the serialized schema still matches committed version %d; revert the bump or run `latsimvet -schemaver-update`",
+					anc.Const, ver, rec.Version)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// computeShapes builds the shape of every package-level struct type in
+// the pass's package, dropping unexported and exempt fields (neither
+// serializes).
+func computeShapes(pass *Pass, marks map[string]map[int]markerAt) map[string]TypeShape {
+	shapes := map[string]TypeShape{}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				shape := TypeShape{Display: pass.Pkg.Name() + "." + ts.Name.Name}
+				for _, field := range st.Fields.List {
+					if suppressed(marks, pass.Fset, field.Pos()) {
+						continue // exempt, with a recorded reason
+					}
+					t := pass.TypeOf(field.Type)
+					fs := FieldShape{
+						Type: typeDisplay(t),
+						Refs: structRefs(t),
+					}
+					if field.Tag != nil {
+						fs.Tag = field.Tag.Value
+					}
+					if len(field.Names) == 0 {
+						// Embedded field: serializes under the type's name.
+						name := embeddedName(field.Type)
+						if name == "" || !ast.IsExported(name) {
+							continue
+						}
+						fs.Name = name
+						shape.Fields = append(shape.Fields, fs)
+						continue
+					}
+					for _, name := range field.Names {
+						if !name.IsExported() {
+							continue // unexported fields do not serialize
+						}
+						f := fs
+						f.Name = name.Name
+						shape.Fields = append(shape.Fields, f)
+					}
+				}
+				shapes[ts.Name.Name] = shape
+			}
+		}
+	}
+	return shapes
+}
+
+// embeddedName extracts the type name of an embedded field expression.
+func embeddedName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// typeDisplay renders a type with package-name qualification, so the
+// fingerprint is stable across module moves but still distinguishes
+// same-named types from different packages in practice.
+func typeDisplay(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// structRefs collects the fully qualified in-module named struct types
+// reachable through t's structure (pointers, slices, arrays, maps,
+// anonymous structs, and the underlying of in-module named non-structs).
+func structRefs(t types.Type) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		switch x := t.(type) {
+		case nil:
+		case *types.Pointer:
+			walk(x.Elem())
+		case *types.Slice:
+			walk(x.Elem())
+		case *types.Array:
+			walk(x.Elem())
+		case *types.Map:
+			walk(x.Key())
+			walk(x.Elem())
+		case *types.Struct:
+			for i := 0; i < x.NumFields(); i++ {
+				walk(x.Field(i).Type())
+			}
+		case *types.Named:
+			pkg := x.Obj().Pkg()
+			if pkg == nil || !strings.HasPrefix(basePkgPath(pkg.Path()), modulePathPrefix) {
+				return
+			}
+			full := basePkgPath(pkg.Path()) + "." + x.Obj().Name()
+			if seen[full] {
+				return
+			}
+			seen[full] = true
+			if _, isStruct := x.Underlying().(*types.Struct); isStruct {
+				out = append(out, full)
+				return // its own shape covers the fields
+			}
+			walk(x.Underlying())
+		}
+	}
+	walk(t)
+	sort.Strings(out)
+	return out
+}
+
+// schemaFingerprint renders the canonical text of every struct shape
+// reachable from the roots and hashes it. Shapes of other packages come
+// from their exported SchemaShapes facts.
+func schemaFingerprint(pass *Pass, roots []string, own map[string]TypeShape) string {
+	shapeOf := func(full string) (TypeShape, bool) {
+		i := strings.LastIndex(full, ".")
+		if i < 0 {
+			return TypeShape{}, false
+		}
+		pkg, name := full[:i], full[i+1:]
+		if pkg == basePkgPath(pass.Pkg.Path()) {
+			s, ok := own[name]
+			return s, ok
+		}
+		var ss SchemaShapes
+		if pass.ImportPackageFact(pkg, &ss) {
+			s, ok := ss.Types[name]
+			return s, ok
+		}
+		return TypeShape{}, false
+	}
+
+	resolved := map[string]TypeShape{}
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		full := queue[0]
+		queue = queue[1:]
+		if _, done := resolved[full]; done {
+			continue
+		}
+		shape, ok := shapeOf(full)
+		if !ok {
+			shape = TypeShape{Display: full + "?unresolved"}
+		}
+		resolved[full] = shape
+		for _, f := range shape.Fields {
+			queue = append(queue, f.Refs...)
+		}
+	}
+
+	keys := make([]string, 0, len(resolved))
+	for k := range resolved {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return resolved[keys[i]].Display < resolved[keys[j]].Display
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		s := resolved[k]
+		fmt.Fprintf(&b, "%s{\n", s.Display)
+		for _, f := range s.Fields {
+			fmt.Fprintf(&b, "\t%s %s %s\n", f.Name, f.Type, f.Tag)
+		}
+		b.WriteString("}\n")
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])[:16]
+}

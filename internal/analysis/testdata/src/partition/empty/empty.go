@@ -1,0 +1,8 @@
+// Package empty exercises the marker grammar rule: a suppression
+// marker with no reason is itself a diagnostic and suppresses nothing.
+// (Checked by a direct test, not want comments: the marker's own line
+// cannot also carry an expectation comment.)
+package empty
+
+//parallel:shared
+var counter int

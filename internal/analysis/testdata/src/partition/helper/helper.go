@@ -1,0 +1,16 @@
+// Package helper is the dependency half of the partition golden
+// fixture: it is not an event-scheduled package, but its exported
+// FnEffects facts must carry the global write across the package
+// boundary into the dependent fixture package.
+package helper
+
+var total int
+
+// Bump writes package-level state; the partition analyzer flags calls
+// to it from event-scheduled packages via the exported fact.
+func Bump() {
+	total++
+}
+
+// Pure has no effects; calls to it must stay silent.
+func Pure(x int) int { return x + 1 }

@@ -1,0 +1,64 @@
+// Package node is the partition golden fixture: an "event-scheduled"
+// package (the test registers it as one) with deliberate
+// partitionability hazards next to justified, annotated patterns.
+package node
+
+import (
+	"latsim/internal/analysis/testdata/src/partition/helper"
+	"latsim/internal/sim"
+)
+
+var hits int // want `package-level var hits is process-wide mutable state`
+
+//parallel:shared read-only name table, populated once before any event is scheduled
+var names = map[int]string{}
+
+// Cell is kernel-rooted: it carries its own event kernel, so it is a
+// unit of partition ownership.
+type Cell struct {
+	k  *sim.Kernel
+	id int
+}
+
+// Grid aggregates pointers into other nodes' state.
+type Grid struct {
+	cells []*Cell // want `field Grid\.cells is a slice of pointers to kernel-rooted Cell`
+
+	//parallel:shared the interconnect is the one deliberately shared medium between nodes
+	links map[int]*sim.Resource
+
+	local int
+}
+
+// Tick writes a package-level counter from event-scheduled code.
+func (g *Grid) Tick() {
+	hits++ // want `unsynchronized write to package-level hits from event-scheduled code`
+}
+
+// Reset is the same write, justified at the write site.
+func (g *Grid) Reset() {
+	hits = 0 //parallel:shared reset runs during quiesce, when no events are in flight
+}
+
+// Register writes through a declaration-annotated global: the
+// declaration's rationale covers its writes.
+func (g *Grid) Register(id int, s string) {
+	names[id] = s
+}
+
+// Observe calls into another package that writes its own global; the
+// hazard arrives here through helper's exported FnEffects fact.
+func (g *Grid) Observe() {
+	helper.Bump() // want `call to helper\.Bump writes package-level state`
+}
+
+// Justified is the same cross-package call with a sharing rationale.
+func (g *Grid) Justified() {
+	helper.Bump() //parallel:shared helper's counter is a process-wide metric, synchronized by its owner
+}
+
+// Local is all node-local state; it must stay silent.
+func (g *Grid) Local(x int) int {
+	g.local += x
+	return helper.Pure(g.local)
+}

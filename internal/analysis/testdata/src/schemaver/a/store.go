@@ -1,0 +1,15 @@
+// Package store is the schemaver fixture, variant a: the shape the
+// test captures as its committed golden.
+package store
+
+// SchemaVersion keys cached documents serialized from Doc.
+const SchemaVersion = 3
+
+// Doc is the cache-serialized document.
+type Doc struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+
+	//schemaver:exempt never serialized: the json tag keeps it out of cached documents
+	Scratch map[string]int `json:"-"`
+}

@@ -1,0 +1,18 @@
+// Package store is the schemaver fixture, variant b: Doc's serialized
+// shape changed (Name renamed to Title) but SchemaVersion did not, so
+// stale cached documents would decode against the new shape. The exempt
+// field also changed type, which must NOT contribute: its exemption
+// travels inside the SchemaShapes fact.
+package store
+
+// SchemaVersion keys cached documents serialized from Doc.
+const SchemaVersion = 3 // want `serialized schema reachable from store\.SchemaVersion changed .* without a version bump`
+
+// Doc is the cache-serialized document.
+type Doc struct {
+	ID    int    `json:"id"`
+	Title string `json:"name"`
+
+	//schemaver:exempt never serialized: the json tag keeps it out of cached documents
+	Scratch []byte `json:"-"`
+}

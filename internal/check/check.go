@@ -138,8 +138,11 @@ func New(k *sim.Kernel, insp Inspector, ordered bool) *Checker {
 func (c *Checker) violate(line mem.Line, node int, format string, args ...any) {
 	c.violations++
 	if c.firstErr == nil {
+		//hookpure:alloc violation path only; at most one detailed error per run
+		detail := fmt.Sprintf(format, args...)
+		//hookpure:alloc violation path only; a failed invariant ends the experiment
 		c.firstErr = fmt.Errorf("check: %s (line %#x, node %d, cycle %d)",
-			fmt.Sprintf(format, args...), uint64(line), node, uint64(c.k.Now()))
+			detail, uint64(line), node, uint64(c.k.Now()))
 	}
 }
 
@@ -149,6 +152,7 @@ func (c *Checker) tick() {
 	if now < c.lastNow {
 		c.violations++
 		if c.firstErr == nil {
+			//hookpure:alloc violation path only; a non-monotonic clock aborts the run
 			c.firstErr = fmt.Errorf("check: kernel clock moved backwards: %d after %d",
 				uint64(now), uint64(c.lastNow))
 		}

@@ -169,6 +169,10 @@ func NewRecorder(k *sim.Kernel, nprocs int, opts Options) *Recorder {
 		maxSegs:  opts.MaxSegments,
 		cursors:  make([]uint64, nprocs),
 		segs:     make([][]Segment, nprocs),
+		// Allocated here, not lazily in MeshHop: hook methods must not
+		// allocate on the hot path (hookpure), and the report renders
+		// from anyMesh, so an empty map never leaks into the output.
+		meshLinks: make(map[[2]int]uint64),
 	}
 	if r.interval == 0 {
 		r.interval = DefaultInterval
@@ -212,6 +216,7 @@ func (r *Recorder) idx(t uint64) int {
 // growTo pads s with zeros to length n.
 func growTo[T uint32 | uint64](s []T, n int) []T {
 	for len(s) < n {
+		//hookpure:alloc amortized: series grow to the run's final interval count, then stabilize
 		s = append(s, 0)
 	}
 	return s
@@ -257,6 +262,7 @@ func (r *Recorder) Account(proc int, b stats.Bucket, d sim.Time) {
 			return
 		}
 	}
+	//hookpure:alloc per-processor timeline growth, hard-capped by maxSegs
 	r.segs[proc] = append(segs, Segment{uint64(b), start, dur})
 	r.nsegs++
 }
@@ -296,9 +302,6 @@ func (r *Recorder) MeshHop(from, to int) {
 	}
 	r.anyMesh = true
 	r.meshHops[r.idx(uint64(r.k.Now()))]++
-	if r.meshLinks == nil {
-		r.meshLinks = make(map[[2]int]uint64)
-	}
 	r.meshLinks[[2]int{from, to}]++
 }
 

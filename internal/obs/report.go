@@ -98,6 +98,8 @@ type Report struct {
 
 // Finish closes the recorder at the run's end time and assembles the
 // report. The recorder must not be used afterwards.
+//
+//hookpure:cold runs once, after the last simulated event
 func (r *Recorder) Finish(elapsed sim.Time) *Report {
 	if r == nil {
 		return nil

@@ -186,10 +186,13 @@ func (t *Tracer) emit(r Rec) {
 		t.dropped++
 		return
 	}
+	//hookpure:alloc record buffer grows toward the MaxSpans cap, then emit only drops
 	t.recs = append(t.recs, r)
 }
 
 // Finish materializes the trace. Safe on nil (returns nil).
+//
+//hookpure:cold runs once, after the last simulated event
 func (t *Tracer) Finish() *Trace {
 	if t == nil {
 		return nil

@@ -129,6 +129,7 @@ func (k *Kernel) AfterActor(delay Time, a Actor) { k.AtTask(k.now+delay, Task{ac
 // AtTask schedules a Task at absolute time t.
 func (k *Kernel) AtTask(t Time, task Task) {
 	if t < k.now {
+		//hookpure:alloc failure path only; scheduling into the past aborts the run
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
 	}
 	k.seq++
@@ -212,6 +213,7 @@ func (k *Kernel) RunUntil(deadline Time) {
 // level for fewer cache-missing levels — a win at simulator queue depths.
 
 func (k *Kernel) push(e event) {
+	//hookpure:alloc amortized: the event heap grows to the in-flight high-water mark, then stabilizes
 	h := append(k.heap, e)
 	// Sift up: shift parents down until e's slot is found.
 	i := len(h) - 1
@@ -282,8 +284,10 @@ func (p *Pool[T]) Get() *T {
 		p.free = p.free[:n-1]
 		return x
 	}
-	return new(T)
+	return new(T) //hookpure:alloc free-list miss only; steady state recycles via Put
 }
 
 // Put recycles an object for a later Get.
+//
+//hookpure:alloc the free list grows to the in-flight high-water mark, then stabilizes
 func (p *Pool[T]) Put(x *T) { p.free = append(p.free, x) }
